@@ -1,0 +1,55 @@
+// Command ppsbounds prints every bound the paper proves, evaluated for a
+// concrete switch geometry — the quick way to answer "what does the theory
+// promise/deny for MY switch?".
+//
+//	ppsbounds -n 512 -k 16 -rprime 4 -u 8 -d 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppsim/internal/bounds"
+)
+
+func main() {
+	n := flag.Int("n", 512, "external ports N")
+	k := flag.Int("k", 16, "center-stage planes K")
+	rprime := flag.Int64("rprime", 4, "internal line occupancy r' = R/r")
+	u := flag.Int64("u", 8, "u-RT staleness / input-buffer size")
+	d := flag.Int("d", 0, "partition size for the Theorem 6 line (0 = use r')")
+	flag.Parse()
+
+	p := bounds.Params{N: *n, K: *k, RPrime: *rprime}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbounds:", err)
+		os.Exit(2)
+	}
+	dd := *d
+	if dd <= 0 {
+		dd = int(*rprime)
+	}
+
+	fmt.Printf("geometry: N=%d ports, K=%d planes, r'=%d  =>  speedup S = %.2f\n\n", *n, *k, *rprime, p.Speedup())
+	fmt.Printf("%-58s %12s\n", "bound (relative queuing delay and delay jitter, slots)", "value")
+	row := func(label string, v float64) { fmt.Printf("%-58s %12.1f\n", label, v) }
+	row(fmt.Sprintf("Thm 6   d-partitioned fully-distributed (d=%d), >=", dd), bounds.Theorem6(p, dd))
+	row("Cor 7   unpartitioned fully-distributed, >=", bounds.Corollary7(p))
+	row("Thm 8   any fully-distributed, >=", bounds.Theorem8(p))
+	row(fmt.Sprintf("Thm 10  u-RT (u=%d, u'=%d), >=", *u, bounds.UEffective(p, *u)), bounds.Theorem10(p, *u))
+	row(fmt.Sprintf("        ... with traffic burstiness B ="), bounds.Theorem10Burstiness(p, *u))
+	row(fmt.Sprintf("Thm 12  buffered u-RT CPA (buffer >= %d, S >= 2), <=", *u), float64(bounds.Theorem12(*u)))
+	row("Thm 13  input-buffered fully-distributed (any buffer), >=", bounds.Theorem13(p))
+	row("[15]    distributed CPA upper bound, <=", float64(bounds.IyerMcKeownUpper(p)))
+	fmt.Println()
+	if p.Speedup() >= bounds.CPAZeroDelaySpeedup() {
+		fmt.Printf("S = %.2f >= 2: the centralized CPA would achieve ZERO relative delay [14]\n", p.Speedup())
+	} else {
+		fmt.Printf("S = %.2f < 2: even the centralized CPA has no zero-delay guarantee [14]\n", p.Speedup())
+	}
+	fmt.Printf("a CIOQ crossbar of this size needs speedup %.3f to mimic output queuing [7]\n", bounds.CIOQMimicSpeedup(*n))
+	fmt.Println()
+	fmt.Println("the Cor 7 / Thm 8 rows are why the paper concludes the PPS does not scale")
+	fmt.Printf("with the port count: at N=%d the inherent worst case is already %.0f slots.\n", *n, bounds.Theorem8(p))
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"ppsim/internal/bounds"
+)
+
+// The command is a thin formatter over internal/bounds; pin the one piece
+// of logic it adds (the d default and validation path) via the library.
+func TestGeometryConsistency(t *testing.T) {
+	p := bounds.Params{N: 512, K: 16, RPrime: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bounds.Corollary7(p) != 1536 {
+		t.Errorf("Cor7 = %f", bounds.Corollary7(p))
+	}
+	if bounds.Theorem8(p) != 384 {
+		t.Errorf("Thm8 = %f", bounds.Theorem8(p))
+	}
+	if bounds.Theorem10(p, 8) != 128 {
+		t.Errorf("Thm10 = %f", bounds.Theorem10(p, 8))
+	}
+}

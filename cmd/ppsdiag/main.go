@@ -1,0 +1,64 @@
+// Command ppsdiag renders the PPS architecture (the paper's Figure 1) as
+// ASCII art for a given geometry, and reports the derived quantities the
+// model fixes: speedup, Clos descriptor, line counts.
+//
+//	ppsdiag -n 5 -k 2 -rprime 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	n := flag.Int("n", 5, "external ports N")
+	k := flag.Int("k", 2, "center-stage planes K")
+	rprime := flag.Int64("rprime", 2, "internal line occupancy r' = R/r")
+	flag.Parse()
+
+	if *n <= 0 || *k <= 0 || *rprime < 1 {
+		fmt.Fprintln(os.Stderr, "ppsdiag: need n > 0, k > 0, rprime >= 1")
+		os.Exit(2)
+	}
+	fmt.Print(Render(*n, *k, *rprime))
+}
+
+// Render draws the three-stage PPS.
+func Render(n, k int, rprime int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel Packet Switch: N=%d, K=%d, r'=%d (S = K/r' = %.2f)\n", n, k, rprime, float64(k)/float64(rprime))
+	fmt.Fprintf(&b, "three-stage Clos network Clos(m=%d, n=1, r=%d); each plane an %dx%d switch at rate R/%d\n\n", k, n, n, n, rprime)
+
+	rows := n
+	if k > n {
+		rows = k
+	}
+	for row := 0; row < rows; row++ {
+		in := "            "
+		if row < n {
+			in = fmt.Sprintf("in %2d >[D%-2d]", row, row)
+		}
+		mid := "            "
+		if row < k {
+			mid = fmt.Sprintf("=[ plane %-2d]=", row)
+		} else {
+			mid = strings.Repeat(" ", 13)
+		}
+		out := ""
+		if row < n {
+			out = fmt.Sprintf("[M%-2d]> out %2d", row, row)
+		}
+		link := "--"
+		if row >= n {
+			link = "  "
+		}
+		fmt.Fprintf(&b, "%s %s %s %s %s\n", in, link, mid, link, out)
+	}
+	fmt.Fprintf(&b, "\nD = demultiplexor (one per input, rate-R external line)\n")
+	fmt.Fprintf(&b, "M = multiplexor with resequencing buffer (one per output)\n")
+	fmt.Fprintf(&b, "every input connects to every plane and every plane to every output:\n")
+	fmt.Fprintf(&b, "%d + %d internal lines, each carrying one cell per %d slots\n", n*k, k*n, rprime)
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFigure1(t *testing.T) {
+	out := Render(5, 2, 2)
+	for _, want := range []string{
+		"N=5, K=2, r'=2",
+		"Clos(m=2, n=1, r=5)",
+		"in  0 >[D0 ]",
+		"plane 1",
+		"[M4 ]> out  4",
+		"10 + 10 internal lines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "plane 2") {
+		t.Error("only 2 planes should be drawn")
+	}
+}
+
+func TestRenderMorePlanesThanPorts(t *testing.T) {
+	out := Render(2, 4, 1)
+	if !strings.Contains(out, "plane 3") {
+		t.Errorf("all 4 planes should be drawn:\n%s", out)
+	}
+	if !strings.Contains(out, "S = K/r' = 4.00") {
+		t.Errorf("speedup missing:\n%s", out)
+	}
+}
+
+func TestRenderLineCounts(t *testing.T) {
+	out := Render(8, 4, 3)
+	if !strings.Contains(out, "32 + 32 internal lines, each carrying one cell per 3 slots") {
+		t.Errorf("line counts wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,123 @@
+// Command ppssim runs one configured PPS simulation against the shadow
+// reference switch and prints the relative-delay report.
+//
+// Examples:
+//
+//	ppssim -n 16 -k 8 -rprime 2 -alg rr -traffic bernoulli -load 0.7 -slots 10000
+//	ppssim -n 32 -k 4 -rprime 2 -alg rr -traffic steering
+//	ppssim -n 16 -k 16 -rprime 8 -alg buffered-cpa -u 4 -bufcap 5 -traffic bernoulli
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppsim"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 16, "external ports N")
+		k       = flag.Int("k", 8, "center-stage planes K")
+		rprime  = flag.Int64("rprime", 2, "internal line occupancy r' = R/r")
+		alg     = flag.String("alg", "rr", "demultiplexing algorithm (see -algs)")
+		d       = flag.Int("d", 2, "partition size (alg=partition)")
+		u       = flag.Int64("u", 2, "staleness / buffer lag (alg=stale-cpa, buffered-cpa)")
+		h       = flag.Float64("h", 2, "FTD block parameter (alg=ftd)")
+		seed    = flag.Int64("seed", 1, "random seed (traffic and alg=random)")
+		cap     = flag.Int("cap", -1, "input buffer capacity (alg=buffered-rr)")
+		bufcap  = flag.Int("bufcap", 0, "fabric input-buffer bound: 0 bufferless, -1 unbounded")
+		lazy    = flag.Bool("lazy", false, "use the lazy FCFS output multiplexor")
+		kind    = flag.String("traffic", "bernoulli", "traffic: bernoulli, hotspot, onoff, permutation, flood, steering, concentration, herding")
+		load    = flag.Float64("load", 0.6, "per-input load (bernoulli, hotspot, onoff)")
+		shapeB  = flag.Int64("shape", -1, "wrap traffic in an (R,B) regulator; -1 = off")
+		slots   = flag.Int64("slots", 5000, "traffic horizon in slots")
+		algs    = flag.Bool("algs", false, "list algorithms and exit")
+		verbose = flag.Bool("v", false, "print utilization per output")
+	)
+	flag.Parse()
+
+	if *algs {
+		for _, name := range ppsim.AlgorithmNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg := ppsim.Config{
+		N: *n, K: *k, RPrime: *rprime,
+		BufferCap: *bufcap,
+		LazyMux:   *lazy,
+		Algorithm: ppsim.Algorithm{Name: *alg, D: *d, U: ppsim.Time(*u), H: *h, Seed: *seed, Capacity: *cap},
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		os.Exit(2)
+	}
+
+	src, err := buildTraffic(cfg, *kind, *load, *seed, ppsim.Time(*slots))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		os.Exit(2)
+	}
+	if *shapeB >= 0 {
+		src = ppsim.Shape(*n, *shapeB, src)
+	}
+
+	res, err := ppsim.Run(cfg, src, ppsim.Options{
+		Horizon:  ppsim.Time(*slots) * 8,
+		Validate: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("switch: N=%d K=%d r'=%d S=%.2f algorithm=%s traffic=%s\n",
+		*n, *k, *rprime, cfg.Speedup(), res.AlgorithmName, *kind)
+	fmt.Printf("offered: %d cells over %d slots, measured leaky-bucket B=%d\n",
+		res.Report.Cells, res.Slots, res.Burstiness)
+	fmt.Println(res.Report)
+	fmt.Printf("peak plane queue: %d cells\n", res.PeakPlaneQueue)
+	if *verbose {
+		for j, u := range res.Utilization {
+			if u > 0 {
+				fmt.Printf("output %2d utilization: %.4f\n", j, u)
+			}
+		}
+	}
+}
+
+func buildTraffic(cfg ppsim.Config, kind string, load float64, seed int64, slots ppsim.Time) (ppsim.Source, error) {
+	n := cfg.N
+	switch kind {
+	case "bernoulli":
+		return ppsim.NewBernoulli(n, load, slots, seed), nil
+	case "hotspot":
+		return ppsim.NewHotspot(n, load, 0.5, 0, slots, seed)
+	case "onoff":
+		meanOn := 8.0
+		meanOff := meanOn * (1 - load) / load
+		if meanOff < 1 {
+			meanOff = 1
+		}
+		return ppsim.NewOnOff(n, meanOn, meanOff, slots, seed)
+	case "permutation":
+		perm := make([]ppsim.Port, n)
+		for i := range perm {
+			perm[i] = ppsim.Port((i + 1) % n)
+		}
+		return ppsim.NewPermutation(perm, slots)
+	case "flood":
+		return ppsim.NewFlood(n, 0, slots/4), nil
+	case "steering":
+		return ppsim.SteeringTrace(cfg, ppsim.AllInputs(n), 0, 1, 16, seed)
+	case "concentration":
+		return ppsim.ConcentrationTrace(n, n, 0)
+	case "herding":
+		return ppsim.HerdingTrace(n, 0, 4, n/4, 4)
+	default:
+		return nil, fmt.Errorf("unknown traffic kind %q", kind)
+	}
+}

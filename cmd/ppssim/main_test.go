@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"ppsim"
+)
+
+func TestBuildTrafficKinds(t *testing.T) {
+	cfg := ppsim.Config{N: 8, K: 4, RPrime: 2, Algorithm: ppsim.Algorithm{Name: "rr"}}
+	for _, kind := range []string{"bernoulli", "hotspot", "onoff", "permutation", "flood", "steering", "concentration", "herding"} {
+		src, err := buildTraffic(cfg, kind, 0.5, 1, 500)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if src == nil {
+			t.Errorf("%s: nil source", kind)
+		}
+	}
+	if _, err := buildTraffic(cfg, "bogus", 0.5, 1, 100); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestBuildTrafficRunsEndToEnd(t *testing.T) {
+	cfg := ppsim.Config{N: 8, K: 4, RPrime: 2, Algorithm: ppsim.Algorithm{Name: "rr"}}
+	src, err := buildTraffic(cfg, "steering", 0.5, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppsim.Run(cfg, src, ppsim.Options{Horizon: 4000, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.MaxRQD < 7 {
+		t.Errorf("steering traffic through the CLI path should concentrate: RQD %d", res.Report.MaxRQD)
+	}
+}

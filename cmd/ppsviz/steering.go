@@ -1,0 +1,22 @@
+package main
+
+import (
+	"ppsim/internal/adversary"
+	"ppsim/internal/cell"
+	"ppsim/internal/demux"
+	"ppsim/internal/fabric"
+	"ppsim/internal/traffic"
+)
+
+// buildSteering wraps the Theorem 6 adversary for the timeline tool.
+func buildSteering(cfg fabric.Config, factory func(demux.Env) (demux.Algorithm, error), inputs []cell.Port, seed int64) (traffic.Source, error) {
+	return adversary.Steering(adversary.SteeringSpec{
+		Fabric:        cfg,
+		Factory:       factory,
+		Inputs:        inputs,
+		Out:           0,
+		Plane:         cell.Plane(1 % cfg.K),
+		ScrambleSlots: 16,
+		ScrambleSeed:  seed,
+	})
+}

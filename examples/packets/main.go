@@ -1,0 +1,68 @@
+// Packets: the paper's model switches fixed-size cells; applications send
+// variable-length packets. This example runs the full path — segmentation
+// at the inputs, the PPS, reassembly at the outputs — and shows how cell-
+// level relative delay surfaces as packet-level delay: a packet rides its
+// slowest cell.
+//
+//	go run ./examples/packets
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ppsim"
+)
+
+func main() {
+	const n = 8
+
+	for _, alg := range []ppsim.Algorithm{{Name: "cpa"}, {Name: "rr"}} {
+		cfg := ppsim.Config{N: n, K: 8, RPrime: 4, Algorithm: alg} // S = 2
+
+		// Offer 200 packets of 1-8 cells on random flows.
+		seg := ppsim.NewSegmenter(n)
+		rng := rand.New(rand.NewSource(7))
+		at := ppsim.Time(0)
+		for p := 0; p < 200; p++ {
+			flow := ppsim.Flow{In: ppsim.Port(rng.Intn(n)), Out: ppsim.Port(rng.Intn(n))}
+			if _, err := seg.Offer(flow, 1+rng.Intn(8), at); err != nil {
+				log.Fatal(err)
+			}
+			at += ppsim.Time(rng.Intn(2))
+		}
+
+		ras := ppsim.NewReassembler(seg)
+		res, err := ppsim.Run(cfg, seg, ppsim.Options{
+			Horizon: 8000,
+			OnPPSDepart: func(c ppsim.Cell) {
+				if err := ras.OnDepart(c); err != nil {
+					log.Fatal(err)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var worst ppsim.Time
+		var sum float64
+		for _, p := range seg.Offered() {
+			d, ok := ras.Delay(p)
+			if !ok {
+				log.Fatalf("packet %d never completed", p.ID)
+			}
+			sum += float64(d)
+			if d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("%-4s %3d packets reassembled losslessly; mean pkt delay %.1f, max %d (max cell RQD %d)\n",
+			alg.Name, ras.Completed(), sum/float64(ras.Completed()), worst, res.Report.MaxRQD)
+	}
+
+	fmt.Println()
+	fmt.Println("every packet completes and flow order holds — the switch invariants the paper")
+	fmt.Println("requires (no drops, per-flow order) are exactly what reassembly depends on.")
+}

@@ -1,0 +1,3 @@
+module ppsim
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package bounds states the paper's results as executable formulas: every
+// lower and upper bound, parameterized exactly as in the text, plus the
+// one-slot-convention "model exact" values this implementation attains.
+// The experiment suite and the tests reference these instead of re-deriving
+// expressions inline, so a transcription error would fail loudly in one
+// place.
+//
+// Conventions: R = 1 cell/slot; rPrime = R/r >= 1; S = K/rPrime. All
+// results are in time-slots.
+package bounds
+
+import "fmt"
+
+// Params carries the switch geometry the bounds range over.
+type Params struct {
+	N      int   // external ports
+	K      int   // center-stage planes
+	RPrime int64 // r' = R/r
+}
+
+// Validate reports nonsensical geometry.
+func (p Params) Validate() error {
+	if p.N <= 0 || p.K <= 0 || p.RPrime < 1 {
+		return fmt.Errorf("bounds: invalid geometry N=%d K=%d r'=%d", p.N, p.K, p.RPrime)
+	}
+	return nil
+}
+
+// Speedup returns S = K / r'.
+func (p Params) Speedup() float64 { return float64(p.K) / float64(p.RPrime) }
+
+// Lemma4 returns the concentration lower bound c*R/r - (s + B): the
+// relative queuing delay and jitter when c cells for one output, arriving
+// over s slots under burstiness B, share one plane.
+func Lemma4(p Params, c, s int, b int64) float64 {
+	return float64(c)*float64(p.RPrime) - (float64(s) + float64(b))
+}
+
+// Lemma4ModelExact returns the exact worst case this implementation attains
+// for the Lemma 4 scenario with s = c, B = 0: (c-1)(r'-1). The difference
+// from Lemma4 is the one-slot departure convention (a cell may leave in its
+// arrival slot), which shifts the constant, not the Theta.
+func Lemma4ModelExact(p Params, c int) int64 {
+	return int64(c-1) * (p.RPrime - 1)
+}
+
+// Theorem6 returns the d-partitioned fully-distributed bound (R/r - 1) * d.
+func Theorem6(p Params, d int) float64 {
+	return (float64(p.RPrime) - 1) * float64(d)
+}
+
+// Corollary7 returns the unpartitioned fully-distributed bound (R/r - 1)*N.
+func Corollary7(p Params) float64 { return Theorem6(p, p.N) }
+
+// Theorem8 returns the any-fully-distributed bound (R/r - 1) * N/S.
+func Theorem8(p Params) float64 {
+	return (float64(p.RPrime) - 1) * float64(p.N) / p.Speedup()
+}
+
+// UEffective returns u' = min(u, R/2r), the effective staleness of
+// Theorem 10.
+func UEffective(p Params, u int64) int64 {
+	if cap := p.RPrime / 2; u > cap {
+		return cap
+	}
+	return u
+}
+
+// Theorem10 returns the u-RT bound (1 - u'r/R) * u'N/S.
+func Theorem10(p Params, u int64) float64 {
+	ue := float64(UEffective(p, u))
+	return (1 - ue/float64(p.RPrime)) * ue * float64(p.N) / p.Speedup()
+}
+
+// Theorem10Burstiness returns the burstiness factor of the Theorem 10
+// traffic: u'^2 N/K - u'.
+func Theorem10Burstiness(p Params, u int64) float64 {
+	ue := float64(UEffective(p, u))
+	return ue*ue*float64(p.N)/float64(p.K) - ue
+}
+
+// Theorem12 returns the input-buffered u-RT upper bound: RQD <= u, valid
+// for buffer size >= u and S >= 2.
+func Theorem12(u int64) int64 { return u }
+
+// Theorem13 returns the input-buffered fully-distributed bound
+// (1 - r/R) * N/S, buffer size immaterial.
+func Theorem13(p Params) float64 {
+	return (1 - 1/float64(p.RPrime)) * float64(p.N) / p.Speedup()
+}
+
+// IyerMcKeownUpper returns the fully-distributed upper bound N * R/r of
+// [15]; with Corollary 7 it pins Theta(N * R/r).
+func IyerMcKeownUpper(p Params) int64 { return int64(p.N) * p.RPrime }
+
+// CPAZeroDelaySpeedup returns the speedup from which the centralized CPA
+// achieves zero relative queuing delay [14].
+func CPAZeroDelaySpeedup() float64 { return 2 }
+
+// CIOQMimicSpeedup returns the Chuang et al. speedup needed for a combined
+// input-output queued switch to mimic output queuing: 2 - 1/N.
+func CIOQMimicSpeedup(n int) float64 { return 2 - 1/float64(n) }

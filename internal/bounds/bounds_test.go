@@ -1,0 +1,116 @@
+package bounds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func p(n, k int, rp int64) Params { return Params{N: n, K: k, RPrime: rp} }
+
+func TestValidate(t *testing.T) {
+	if err := p(0, 1, 1).Validate(); err == nil {
+		t.Error("N=0 must be invalid")
+	}
+	if err := p(4, 0, 1).Validate(); err == nil {
+		t.Error("K=0 must be invalid")
+	}
+	if err := p(4, 2, 0).Validate(); err == nil {
+		t.Error("r'=0 must be invalid")
+	}
+	if err := p(5, 2, 2).Validate(); err != nil {
+		t.Errorf("figure-1 geometry rejected: %v", err)
+	}
+}
+
+func TestHeadlineValues(t *testing.T) {
+	// Spot values cross-checked against the paper's expressions.
+	g := p(32, 4, 2) // S = 2
+	if got := Corollary7(g); got != 32 {
+		t.Errorf("Corollary7 = %f, want (r'-1)N = 32", got)
+	}
+	if got := Theorem8(g); got != 16 {
+		t.Errorf("Theorem8 = %f, want (r'-1)N/S = 16", got)
+	}
+	if got := Theorem13(g); got != 8 {
+		t.Errorf("Theorem13 = %f, want (1-r/R)N/S = 8", got)
+	}
+	if got := Theorem6(g, 5); got != 5 {
+		t.Errorf("Theorem6(d=5) = %f, want 5", got)
+	}
+	if got := Lemma4(g, 10, 10, 0); got != 10 {
+		t.Errorf("Lemma4 = %f, want c*r' - s = 10", got)
+	}
+	if got := Lemma4ModelExact(g, 10); got != 9 {
+		t.Errorf("Lemma4ModelExact = %d, want (c-1)(r'-1) = 9", got)
+	}
+	if got := IyerMcKeownUpper(g); got != 64 {
+		t.Errorf("IyerMcKeownUpper = %d, want N*r' = 64", got)
+	}
+	if CPAZeroDelaySpeedup() != 2 {
+		t.Error("CPA speedup must be 2")
+	}
+	if got := CIOQMimicSpeedup(8); got != 2-1.0/8 {
+		t.Errorf("CIOQMimicSpeedup = %f", got)
+	}
+}
+
+func TestTheorem10Shapes(t *testing.T) {
+	g := p(32, 16, 8) // S = 2, u cap = 4
+	if UEffective(g, 2) != 2 || UEffective(g, 9) != 4 {
+		t.Error("UEffective must cap at r'/2")
+	}
+	// Bound grows with u until the cap, then freezes.
+	if !(Theorem10(g, 1) < Theorem10(g, 2) && Theorem10(g, 2) < Theorem10(g, 4)) {
+		t.Error("Theorem10 must grow below the cap")
+	}
+	if Theorem10(g, 4) != Theorem10(g, 16) {
+		t.Error("Theorem10 must saturate at u' = r'/2")
+	}
+	// Spot value: u'=4, (1 - 4/8) * 4 * 32/2 = 32.
+	if got := Theorem10(g, 8); got != 32 {
+		t.Errorf("Theorem10 = %f, want 32", got)
+	}
+	// Burstiness: 16*32/16 - 4 = 28.
+	if got := Theorem10Burstiness(g, 8); got != 28 {
+		t.Errorf("Theorem10Burstiness = %f, want 28", got)
+	}
+}
+
+// Property: the bound hierarchy of the paper holds for every geometry:
+// Theorem13 <= Theorem8 <= Corollary7 <= IyerMcKeownUpper, and Theorem6 is
+// monotone in d up to Corollary7 at d = N.
+func TestBoundHierarchy(t *testing.T) {
+	prop := func(nRaw, kRaw, rpRaw uint8) bool {
+		g := Params{N: int(nRaw%64) + 2, K: int(kRaw%16) + 1, RPrime: int64(rpRaw%8) + 1}
+		if g.Validate() != nil {
+			return false
+		}
+		if Theorem13(g) > Theorem8(g)+1e-9 {
+			return false
+		}
+		if g.Speedup() >= 1 && Theorem8(g) > Corollary7(g)+1e-9 {
+			return false
+		}
+		if Corollary7(g) > float64(IyerMcKeownUpper(g)) {
+			return false
+		}
+		prev := -1.0
+		for d := 1; d <= g.N; d++ {
+			v := Theorem6(g, d)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return Theorem6(g, g.N) == Corollary7(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem12(t *testing.T) {
+	if Theorem12(7) != 7 {
+		t.Error("Theorem12 upper bound is u itself")
+	}
+}

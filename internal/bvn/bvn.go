@@ -1,0 +1,251 @@
+// Package bvn implements Birkhoff–von Neumann decomposition of admissible
+// rate matrices into convex combinations of permutation matrices, and the
+// deficit weighted round-robin schedule that realizes such a decomposition
+// as deterministic, burst-bounded cell traffic.
+//
+// The paper's traffic model admits any (R, B) leaky-bucket arrival process;
+// a doubly-substochastic rate matrix lambda (row and column sums <= 1) is
+// the canonical long-run description of admissible demand. By Birkhoff's
+// theorem every doubly-stochastic matrix is a convex combination of
+// permutations; a substochastic matrix is first padded with slack to a
+// stochastic one (von Neumann), decomposed, and the slack cells simply emit
+// nothing when scheduled. Scheduling the permutations with deficit-based
+// weighted round-robin yields traffic whose per-port burstiness is bounded
+// by the number of permutations used — a deterministic, tunable alternative
+// to the Bernoulli sources in the experiment suite.
+package bvn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decomposition is a convex combination of permutations whose weighted sum
+// covers the padded (doubly-stochastic) matrix; frac tells, per cell, what
+// fraction of the padded rate is real demand (padding slack may land on
+// cells that also carry demand, so this is a ratio rather than a flag).
+type Decomposition struct {
+	// Perms[i][r] is the column matched to row r in the i-th permutation.
+	Perms [][]int
+	// Weights[i] is the i-th coefficient; over a stochastic padded matrix
+	// the weights sum to ~1.
+	Weights []float64
+	// frac[r][c] = demand(r,c) / (demand(r,c) + pad(r,c)); 0 for pure
+	// slack cells. Consumers emit a cell for (r, c) only this fraction of
+	// the times the cell is scheduled (deficit thinning).
+	frac [][]float64
+}
+
+// RealFraction returns the fraction of cell (r, c)'s scheduled rate that is
+// real demand.
+func (d *Decomposition) RealFraction(r, c int) float64 { return d.frac[r][c] }
+
+// Rate returns the total decomposition weight.
+func (d *Decomposition) Rate() float64 {
+	var s float64
+	for _, w := range d.Weights {
+		s += w
+	}
+	return s
+}
+
+// Reconstruct returns sum_i w_i P_i scaled by the real fractions — which
+// must approximate the original matrix.
+func (d *Decomposition) Reconstruct(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i, perm := range d.Perms {
+		for r, c := range perm {
+			out[r][c] += d.Weights[i] * d.frac[r][c]
+		}
+	}
+	return out
+}
+
+// Decompose computes a BvN decomposition of an n x n doubly-substochastic
+// matrix. Entries below tol (default 1e-9) are treated as zero. It returns
+// an error for inadmissible demand (a row or column summing above 1).
+func Decompose(lambda [][]float64, tol float64) (*Decomposition, error) {
+	n := len(lambda)
+	if n == 0 {
+		return nil, fmt.Errorf("bvn: empty matrix")
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	rowSum := make([]float64, n)
+	colSum := make([]float64, n)
+	resid := make([][]float64, n)
+	demand := make([][]float64, n)
+	for i, row := range lambda {
+		if len(row) != n {
+			return nil, fmt.Errorf("bvn: row %d has %d entries, want %d", i, len(row), n)
+		}
+		resid[i] = make([]float64, n)
+		demand[i] = make([]float64, n)
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("bvn: negative rate at (%d,%d)", i, j)
+			}
+			if v < tol {
+				v = 0
+			}
+			resid[i][j] = v
+			demand[i][j] = v
+			rowSum[i] += v
+			colSum[j] += v
+		}
+	}
+	const eps = 1e-9
+	for i := 0; i < n; i++ {
+		if rowSum[i] > 1+eps {
+			return nil, fmt.Errorf("bvn: row %d sums to %f > 1 (inadmissible demand)", i, rowSum[i])
+		}
+		if colSum[i] > 1+eps {
+			return nil, fmt.Errorf("bvn: column %d sums to %f > 1 (inadmissible demand)", i, colSum[i])
+		}
+	}
+
+	// Pad to doubly stochastic: while some row has slack, some column has
+	// slack too (total deficits are equal); raise one (row, col) cell by
+	// the smaller deficit. Each step saturates a row or a column, so at
+	// most 2n steps run. Padding may land on cells that carry demand;
+	// the real-fraction table below accounts for it.
+	for {
+		ri := -1
+		for i := 0; i < n; i++ {
+			if rowSum[i] < 1-eps {
+				ri = i
+				break
+			}
+		}
+		if ri < 0 {
+			break
+		}
+		ci := -1
+		for j := 0; j < n; j++ {
+			if colSum[j] < 1-eps {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("bvn: internal error: row deficit without column deficit")
+		}
+		add := math.Min(1-rowSum[ri], 1-colSum[ci])
+		resid[ri][ci] += add
+		rowSum[ri] += add
+		colSum[ci] += add
+	}
+
+	// Real fraction per cell of the padded matrix.
+	frac := make([][]float64, n)
+	for i := range frac {
+		frac[i] = make([]float64, n)
+		for j := range frac[i] {
+			if resid[i][j] > 0 {
+				frac[i][j] = demand[i][j] / resid[i][j]
+			}
+		}
+	}
+
+	// Birkhoff peeling: perfect matching on the support, subtract the
+	// minimum matched entry, repeat. Each round zeroes >= 1 entry.
+	d := &Decomposition{frac: frac}
+	for round := 0; round <= n*n+1; round++ {
+		match, ok := perfectMatching(resid, tol)
+		if !ok {
+			return d, nil // residual is (numerically) zero
+		}
+		w := math.Inf(1)
+		for r, c := range match {
+			if resid[r][c] < w {
+				w = resid[r][c]
+			}
+		}
+		if w < tol {
+			return d, nil
+		}
+		for r, c := range match {
+			resid[r][c] -= w
+		}
+		d.Perms = append(d.Perms, match)
+		d.Weights = append(d.Weights, w)
+	}
+	return nil, fmt.Errorf("bvn: decomposition did not converge (tolerance too small?)")
+}
+
+// perfectMatching finds a perfect matching on cells >= tol via augmenting
+// paths; ok=false when the support has no perfect matching (for a
+// doubly-stochastic residual this only happens when the residual is ~0).
+func perfectMatching(m [][]float64, tol float64) ([]int, bool) {
+	n := len(m)
+	matchRow := make([]int, n)
+	matchCol := make([]int, n)
+	for i := range matchRow {
+		matchRow[i] = -1
+		matchCol[i] = -1
+	}
+	var try func(r int, seen []bool) bool
+	try = func(r int, seen []bool) bool {
+		for c := 0; c < n; c++ {
+			if m[r][c] >= tol && !seen[c] {
+				seen[c] = true
+				if matchCol[c] < 0 || try(matchCol[c], seen) {
+					matchRow[r] = c
+					matchCol[c] = r
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for r := 0; r < n; r++ {
+		if !try(r, make([]bool, n)) {
+			return nil, false
+		}
+	}
+	return matchRow, true
+}
+
+// Schedule selects one permutation per slot by deficit weighted round-robin
+// over the permutations plus an idle pseudo-entry carrying the unpadded
+// slack: every slot each entry earns its weight, the richest entry is
+// served and pays one slot. Long-run service frequencies converge to the
+// weights and each entry's service deviates from fluid by at most one slot
+// per competitor — the burstiness bound for the resulting traffic.
+type Schedule struct {
+	d          *Decomposition
+	credit     []float64
+	idleCredit float64
+	idleWeight float64
+}
+
+// NewSchedule returns a scheduler over the decomposition.
+func NewSchedule(d *Decomposition) *Schedule {
+	idle := 1 - d.Rate()
+	if idle < 0 {
+		idle = 0
+	}
+	return &Schedule{d: d, credit: make([]float64, len(d.Weights)), idleWeight: idle}
+}
+
+// Next returns the permutation index to serve this slot, or -1 for idle.
+func (s *Schedule) Next() int {
+	best, bestCredit := -1, 0.0
+	for i, w := range s.d.Weights {
+		s.credit[i] += w
+		if best < 0 || s.credit[i] > bestCredit {
+			best, bestCredit = i, s.credit[i]
+		}
+	}
+	s.idleCredit += s.idleWeight
+	if best < 0 || s.idleCredit > bestCredit {
+		s.idleCredit -= 1
+		return -1
+	}
+	s.credit[best] -= 1
+	return best
+}

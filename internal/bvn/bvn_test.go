@@ -1,0 +1,199 @@
+package bvn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposePermutationMatrix(t *testing.T) {
+	lambda := [][]float64{
+		{0, 1, 0},
+		{0, 0, 1},
+		{1, 0, 0},
+	}
+	d, err := Decompose(lambda, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Perms) != 1 || math.Abs(d.Weights[0]-1) > 1e-9 {
+		t.Fatalf("permutation matrix should decompose into itself: %v %v", d.Perms, d.Weights)
+	}
+	if d.Perms[0][0] != 1 || d.Perms[0][1] != 2 || d.Perms[0][2] != 0 {
+		t.Errorf("wrong permutation: %v", d.Perms[0])
+	}
+}
+
+func TestDecomposeUniform(t *testing.T) {
+	// The uniform doubly-stochastic matrix 1/n needs exactly n
+	// permutations of weight 1/n each.
+	const n = 4
+	lambda := make([][]float64, n)
+	for i := range lambda {
+		lambda[i] = make([]float64, n)
+		for j := range lambda[i] {
+			lambda[i][j] = 1.0 / n
+		}
+	}
+	d, err := Decompose(lambda, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Perms) != n {
+		t.Errorf("uniform matrix used %d permutations, want %d", len(d.Perms), n)
+	}
+	if math.Abs(d.Rate()-1) > 1e-9 {
+		t.Errorf("Rate = %f", d.Rate())
+	}
+	checkReconstruction(t, lambda, d)
+}
+
+func TestDecomposeSubstochastic(t *testing.T) {
+	lambda := [][]float64{
+		{0.5, 0},
+		{0, 0},
+	}
+	d, err := Decompose(lambda, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReconstruction(t, lambda, d)
+	if d.RealFraction(0, 0) <= 0 {
+		t.Error("cell (0,0) carries demand; fraction must be positive")
+	}
+	if d.RealFraction(0, 1) != 0 && d.RealFraction(1, 0) != 0 {
+		t.Error("pure slack cells must have zero real fraction")
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	if _, err := Decompose(nil, 0); err == nil {
+		t.Error("empty matrix must be rejected")
+	}
+	if _, err := Decompose([][]float64{{0.5}, {0.5, 0.5}}, 0); err == nil {
+		t.Error("ragged matrix must be rejected")
+	}
+	if _, err := Decompose([][]float64{{-0.1}}, 0); err == nil {
+		t.Error("negative rate must be rejected")
+	}
+	if _, err := Decompose([][]float64{{0.8, 0.8}, {0, 0}}, 0); err == nil {
+		t.Error("row sum > 1 must be rejected")
+	}
+	if _, err := Decompose([][]float64{{0.8, 0}, {0.8, 0}}, 0); err == nil {
+		t.Error("column sum > 1 must be rejected")
+	}
+}
+
+func checkReconstruction(t *testing.T, lambda [][]float64, d *Decomposition) {
+	t.Helper()
+	n := len(lambda)
+	rec := d.Reconstruct(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(rec[i][j]-lambda[i][j]) > 1e-6 {
+				t.Fatalf("reconstruction (%d,%d) = %f, want %f", i, j, rec[i][j], lambda[i][j])
+			}
+		}
+	}
+}
+
+// Property: any random doubly-substochastic matrix decomposes and
+// reconstructs to itself on real cells.
+func TestDecomposeReconstructsProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		rng := rand.New(rand.NewSource(seed))
+		// Build a substochastic matrix as a random convex combination of
+		// random permutations, scaled by a random load.
+		lambda := make([][]float64, n)
+		for i := range lambda {
+			lambda[i] = make([]float64, n)
+		}
+		load := 0.2 + 0.8*rng.Float64()
+		remaining := load
+		for remaining > 1e-3 {
+			w := remaining * (0.2 + 0.8*rng.Float64())
+			perm := rng.Perm(n)
+			for r, c := range perm {
+				lambda[r][c] += w
+			}
+			remaining -= w
+		}
+		d, err := Decompose(lambda, 1e-7)
+		if err != nil {
+			return false
+		}
+		rec := d.Reconstruct(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec[i][j]-lambda[i][j]) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleFrequenciesConverge(t *testing.T) {
+	lambda := [][]float64{
+		{0.5, 0.25},
+		{0.25, 0.5},
+	}
+	d, err := Decompose(lambda, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(d)
+	const slots = 10000
+	counts := make([]int, len(d.Perms))
+	idle := 0
+	for i := 0; i < slots; i++ {
+		if k := s.Next(); k >= 0 {
+			counts[k]++
+		} else {
+			idle++
+		}
+	}
+	for i, w := range d.Weights {
+		got := float64(counts[i]) / slots
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("permutation %d served at %f, want %f", i, got, w)
+		}
+	}
+	wantIdle := 1 - d.Rate()
+	if got := float64(idle) / slots; math.Abs(got-wantIdle) > 0.01 {
+		t.Errorf("idle fraction %f, want %f", got, wantIdle)
+	}
+}
+
+func TestScheduleDeficitBounded(t *testing.T) {
+	// Deficit WRR: served[i] never lags fluid w_i*t by more than ~1+#perms.
+	lambda := [][]float64{
+		{0.3, 0.3, 0.2},
+		{0.3, 0.2, 0.3},
+		{0.2, 0.3, 0.3},
+	}
+	d, err := Decompose(lambda, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(d)
+	served := make([]int, len(d.Perms))
+	slack := float64(len(d.Perms) + 2)
+	for slot := 1; slot <= 5000; slot++ {
+		if k := s.Next(); k >= 0 {
+			served[k]++
+		}
+		for i, w := range d.Weights {
+			fluid := w * float64(slot)
+			if float64(served[i]) < fluid-slack || float64(served[i]) > fluid+slack {
+				t.Fatalf("slot %d: perm %d served %d, fluid %f", slot, i, served[i], fluid)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package cell defines the fixed-size cell that flows through every switch
+// in this repository, together with flow identity and time-stamp bookkeeping.
+//
+// The model follows Section 2 of Attiya & Hay, "The Inherent Queuing Delay of
+// Parallel Packet Switches" (SPAA 2004): cells arrive to and leave the switch
+// in discrete time-slots, a slot being the time to transmit one cell at the
+// external rate R. Fragmentation and reassembly happen outside the switch, so
+// a cell carries no payload here — only identity and timing metadata needed
+// to compute queuing delay and jitter.
+package cell
+
+import "fmt"
+
+// Time is a discrete time-slot index. Slot 0 is the first slot of an
+// execution. Negative values are used as "unset" sentinels.
+type Time int64
+
+// None is the sentinel for an unset time stamp.
+const None Time = -1
+
+// Port identifies an input-port or output-port of an N x N switch,
+// in the range [0, N).
+type Port int32
+
+// Plane identifies a middle-stage switch of the PPS, in the range [0, K).
+type Plane int32
+
+// NoPlane is the sentinel returned by demultiplexors that keep a cell in
+// the input buffer instead of dispatching it (the vector entry called
+// "infinity" in Definition 2 of the paper).
+const NoPlane Plane = -1
+
+// Flow identifies the (input, output) pair a cell belongs to. The switch
+// must preserve the order of cells within a flow and must not drop cells.
+type Flow struct {
+	In  Port
+	Out Port
+}
+
+// String renders the flow as "(i->j)".
+func (f Flow) String() string { return fmt.Sprintf("(%d->%d)", f.In, f.Out) }
+
+// Cell is one fixed-size unit of switching work.
+//
+// A Cell is created when it arrives to the switch and is annotated as it
+// moves through the stages. All stamps are in time-slots.
+type Cell struct {
+	// Seq is a globally unique, monotonically increasing sequence number
+	// assigned at arrival; it doubles as the FCFS tie-breaker.
+	Seq uint64
+
+	// FlowSeq is the cell's index within its flow, starting at 0. Order
+	// preservation means cells of a flow depart in FlowSeq order.
+	FlowSeq uint64
+
+	Flow Flow
+
+	// Arrive is the slot in which the cell arrived to its input-port.
+	Arrive Time
+
+	// Dispatch is the slot in which the demultiplexor sent the cell to a
+	// plane (equals Arrive for bufferless PPS; >= Arrive when buffered).
+	Dispatch Time
+
+	// Via is the plane the cell was switched through (PPS only).
+	Via Plane
+
+	// AtOutput is the slot the cell reached its output-port buffer.
+	AtOutput Time
+
+	// Depart is the slot the cell left the switch on its external line.
+	Depart Time
+}
+
+// New returns a cell arriving at slot t on flow f with the given global and
+// per-flow sequence numbers. All later stamps are unset.
+func New(seq, flowSeq uint64, f Flow, t Time) Cell {
+	return Cell{
+		Seq:      seq,
+		FlowSeq:  flowSeq,
+		Flow:     f,
+		Arrive:   t,
+		Dispatch: None,
+		Via:      NoPlane,
+		AtOutput: None,
+		Depart:   None,
+	}
+}
+
+// QueuingDelay is Depart - Arrive, the total time the cell spent queued in
+// the switch under the paper's propagation-free accounting. It panics if the
+// cell has not departed: asking for the delay of an in-flight cell is a
+// programming error in the harness.
+func (c Cell) QueuingDelay() Time {
+	if c.Depart == None {
+		panic(fmt.Sprintf("cell %d %v has not departed", c.Seq, c.Flow))
+	}
+	return c.Depart - c.Arrive
+}
+
+// String renders a compact single-line description of the cell.
+func (c Cell) String() string {
+	return fmt.Sprintf("cell{#%d %v fs=%d arr=%d dis=%d via=%d out=%d dep=%d}",
+		c.Seq, c.Flow, c.FlowSeq, c.Arrive, c.Dispatch, c.Via, c.AtOutput, c.Depart)
+}
+
+// Stamper hands out sequence numbers and per-flow indices for newly arriving
+// cells. It is the single authority for cell identity in an execution, so
+// that the PPS and the shadow switch see byte-identical cells.
+type Stamper struct {
+	next    uint64
+	perFlow map[Flow]uint64
+}
+
+// NewStamper returns an empty Stamper.
+func NewStamper() *Stamper {
+	return &Stamper{perFlow: make(map[Flow]uint64)}
+}
+
+// Stamp mints the cell for an arrival on flow f at slot t.
+func (s *Stamper) Stamp(f Flow, t Time) Cell {
+	fs := s.perFlow[f]
+	s.perFlow[f] = fs + 1
+	c := New(s.next, fs, f, t)
+	s.next++
+	return c
+}
+
+// Count reports how many cells have been stamped so far.
+func (s *Stamper) Count() uint64 { return s.next }
+
+// FlowCount reports how many cells have been stamped for flow f.
+func (s *Stamper) FlowCount(f Flow) uint64 { return s.perFlow[f] }

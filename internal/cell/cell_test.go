@@ -1,0 +1,98 @@
+package cell
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetsSentinels(t *testing.T) {
+	c := New(7, 3, Flow{In: 1, Out: 2}, 42)
+	if c.Seq != 7 || c.FlowSeq != 3 {
+		t.Errorf("sequence numbers: got (%d,%d), want (7,3)", c.Seq, c.FlowSeq)
+	}
+	if c.Arrive != 42 {
+		t.Errorf("Arrive = %d, want 42", c.Arrive)
+	}
+	for name, v := range map[string]Time{"Dispatch": c.Dispatch, "AtOutput": c.AtOutput, "Depart": c.Depart} {
+		if v != None {
+			t.Errorf("%s = %d, want None", name, v)
+		}
+	}
+	if c.Via != NoPlane {
+		t.Errorf("Via = %d, want NoPlane", c.Via)
+	}
+}
+
+func TestQueuingDelay(t *testing.T) {
+	c := New(0, 0, Flow{}, 10)
+	c.Depart = 17
+	if got := c.QueuingDelay(); got != 7 {
+		t.Errorf("QueuingDelay = %d, want 7", got)
+	}
+}
+
+func TestQueuingDelayPanicsInFlight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for in-flight cell")
+		}
+	}()
+	c := New(0, 0, Flow{}, 10)
+	_ = c.QueuingDelay()
+}
+
+func TestFlowString(t *testing.T) {
+	f := Flow{In: 3, Out: 9}
+	if got := f.String(); got != "(3->9)" {
+		t.Errorf("Flow.String() = %q", got)
+	}
+}
+
+func TestStamperSequencing(t *testing.T) {
+	s := NewStamper()
+	f1 := Flow{In: 0, Out: 1}
+	f2 := Flow{In: 2, Out: 1}
+
+	a := s.Stamp(f1, 0)
+	b := s.Stamp(f2, 0)
+	c := s.Stamp(f1, 1)
+
+	if a.Seq != 0 || b.Seq != 1 || c.Seq != 2 {
+		t.Errorf("global seqs: %d %d %d, want 0 1 2", a.Seq, b.Seq, c.Seq)
+	}
+	if a.FlowSeq != 0 || b.FlowSeq != 0 || c.FlowSeq != 1 {
+		t.Errorf("flow seqs: %d %d %d, want 0 0 1", a.FlowSeq, b.FlowSeq, c.FlowSeq)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	if s.FlowCount(f1) != 2 || s.FlowCount(f2) != 1 {
+		t.Errorf("FlowCount: f1=%d f2=%d, want 2 1", s.FlowCount(f1), s.FlowCount(f2))
+	}
+}
+
+// Property: global sequence numbers are strictly increasing and per-flow
+// sequence numbers are dense (0,1,2,...) no matter the interleaving.
+func TestStamperProperties(t *testing.T) {
+	prop := func(flowChoices []uint8) bool {
+		s := NewStamper()
+		perFlow := make(map[Flow]uint64)
+		var lastSeq uint64
+		for i, ch := range flowChoices {
+			f := Flow{In: Port(ch % 4), Out: Port((ch / 4) % 4)}
+			c := s.Stamp(f, Time(i))
+			if i > 0 && c.Seq != lastSeq+1 {
+				return false
+			}
+			lastSeq = c.Seq
+			if c.FlowSeq != perFlow[f] {
+				return false
+			}
+			perFlow[f]++
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

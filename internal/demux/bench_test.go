@@ -1,0 +1,59 @@
+package demux
+
+import (
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+// benchAlgorithm measures steady-state Slot throughput: every input gets a
+// cell every slot, destinations rotating, gates seized like the fabric
+// would.
+func benchAlgorithm(b *testing.B, mk func(Env) (Algorithm, error)) {
+	const n, k, rp = 32, 16, 2
+	e := newFakeEnv(n, k, rp)
+	a, err := mk(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := cell.NewStamper()
+	cells := make([]cell.Cell, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := cell.Time(i)
+		cells = cells[:0]
+		for in := 0; in < n; in++ {
+			cells = append(cells, st.Stamp(cell.Flow{In: cell.Port(in), Out: cell.Port((in + i) % n)}, slot))
+		}
+		sends, err := a.Slot(slot, cells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range sends {
+			if err := e.gates.Gate(int(s.Cell.Flow.In), int(s.Plane)).Seize(slot); err != nil {
+				b.Fatal(err)
+			}
+			e.log.Append(Event{T: slot, Kind: EvDispatch, In: s.Cell.Flow.In, Out: s.Cell.Flow.Out, K: s.Plane})
+		}
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkAlgorithms(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func(Env) (Algorithm, error)
+	}{
+		{"rr", func(e Env) (Algorithm, error) { return NewRoundRobin(e, PerInput) }},
+		{"perflow-rr", func(e Env) (Algorithm, error) { return NewRoundRobin(e, PerFlow) }},
+		{"random", func(e Env) (Algorithm, error) { return NewRandom(e, 1) }},
+		{"least-loaded", func(e Env) (Algorithm, error) { return NewLocalLeastLoaded(e) }},
+		{"cpa", func(e Env) (Algorithm, error) { return NewCPA(e, MinAvail) }},
+		{"stale-cpa-u4", func(e Env) (Algorithm, error) { return NewStaleCPA(e, 4) }},
+		{"ftd-h2", func(e Env) (Algorithm, error) { return NewFTD(e, 2) }},
+		{"buffered-cpa-u4", func(e Env) (Algorithm, error) { return NewBufferedCPA(e, 4, MinAvail) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { benchAlgorithm(b, c.mk) })
+	}
+}

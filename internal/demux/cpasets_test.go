@@ -1,0 +1,124 @@
+package demux
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppsim/internal/cell"
+)
+
+// lcg is a tiny deterministic generator for differential workloads.
+type lcg uint64
+
+func (l *lcg) next(m int) int {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return int((uint64(*l) >> 33) % uint64(m))
+}
+
+// TestCPASetsMatchesCPADifferential runs the sets formulation and the
+// production (availability-counter) formulation side by side on identical
+// arrival streams: two independent derivations of the same algorithm must
+// make identical decisions.
+func TestCPASetsMatchesCPADifferential(t *testing.T) {
+	prop := func(seed uint64) bool {
+		const n, k, rp = 6, 6, 3 // S = 2
+		e1 := newFakeEnv(n, k, rp)
+		e2 := newFakeEnv(n, k, rp)
+		a1, err := NewCPA(e1, MinAvail)
+		if err != nil {
+			return false
+		}
+		a2, err := NewCPASets(e2)
+		if err != nil {
+			return false
+		}
+		st1, st2 := cell.NewStamper(), cell.NewStamper()
+		rng := lcg(seed)
+		for slot := cell.Time(0); slot < 150; slot++ {
+			var outsUsed [n]bool
+			var c1, c2 []cell.Cell
+			for in := 0; in < n; in++ {
+				if rng.next(2) == 0 {
+					continue
+				}
+				j := rng.next(n)
+				if outsUsed[j] {
+					continue
+				}
+				outsUsed[j] = true
+				c1 = append(c1, st1.Stamp(cell.Flow{In: cell.Port(in), Out: cell.Port(j)}, slot))
+				c2 = append(c2, st2.Stamp(cell.Flow{In: cell.Port(in), Out: cell.Port(j)}, slot))
+			}
+			s1, err1 := a1.Slot(slot, c1)
+			s2, err2 := a2.Slot(slot, c2)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if len(s1) != len(s2) {
+				return false
+			}
+			for i := range s1 {
+				if s1[i].Plane != s2[i].Plane || s1[i].Cell.Seq != s2[i].Cell.Seq {
+					return false
+				}
+				if err := e1.gates.Gate(int(s1[i].Cell.Flow.In), int(s1[i].Plane)).Seize(slot); err != nil {
+					return false
+				}
+				if err := e2.gates.Gate(int(s2[i].Cell.Flow.In), int(s2[i].Plane)).Seize(slot); err != nil {
+					return false
+				}
+			}
+		}
+		return a1.Misses() == 0 && a2.Misses() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPASetsBasics(t *testing.T) {
+	e := newFakeEnv(4, 4, 2)
+	a, err := NewCPASets(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "cpa-sets" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if a.Buffered(0) != 0 {
+		t.Error("bufferless")
+	}
+	st := cell.NewStamper()
+	sends, err := a.Slot(0, []cell.Cell{st.Stamp(cell.Flow{In: 0, Out: 0}, 0)})
+	if err != nil || len(sends) != 1 {
+		t.Fatalf("Slot: %v %v", sends, err)
+	}
+	if a.Misses() != 0 {
+		t.Error("no misses expected")
+	}
+}
+
+func TestCPASetsDegradesAtLowSpeedup(t *testing.T) {
+	// Same two-burst scenario as the production CPA's miss test.
+	e := newFakeEnv(4, 3, 3) // S = 1
+	a, _ := NewCPASets(e)
+	st := cell.NewStamper()
+	for slot := cell.Time(0); slot < 2; slot++ {
+		var cells []cell.Cell
+		for i := 1; i < 4; i++ {
+			cells = append(cells, st.Stamp(cell.Flow{In: cell.Port(i), Out: 0}, slot))
+		}
+		sends, err := a.Slot(slot, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sends {
+			if err := e.gates.Gate(int(s.Cell.Flow.In), int(s.Plane)).Seize(slot); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if a.Misses() == 0 {
+		t.Error("expected empty AIL/AOL intersections at S=1")
+	}
+}

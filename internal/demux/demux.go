@@ -1,0 +1,157 @@
+// Package demux implements the demultiplexing algorithms of the PPS: the
+// per-input state machines that decide, for every arriving cell, which
+// middle-stage plane it is switched through (Definitions 1 and 2 of the
+// paper), or — in the input-buffered variant — whether it is held in the
+// input buffer.
+//
+// The paper classifies demultiplexing algorithms by the information they
+// use (Section 1):
+//
+//   - centralized: every decision sees the full, current switch status
+//     (CPA);
+//   - fully-distributed: decisions see only the input-port's local history
+//     (RoundRobin, StaticPartition, Random, FTD, BufferedRR);
+//   - u real-time distributed (u-RT): local information plus global
+//     information older than u slots (StaleCPA, BufferedCPA).
+//
+// Information discipline is enforced by construction: fully-distributed
+// algorithms never read the global event log, u-RT algorithms read it only
+// through a cursor capped at t-u, and only CPA holds a live reference to
+// current global state.
+package demux
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+)
+
+// Send is one dispatch decision: transmit Cell to plane Plane in the
+// current slot. The fabric seizes the (input, plane) gate and errors if the
+// algorithm violated the input constraint.
+type Send struct {
+	Cell  cell.Cell
+	Plane cell.Plane
+}
+
+// Algorithm is a demultiplexing algorithm for the whole input stage. A
+// single value handles all N inputs; distributed algorithms keep isolated
+// per-input state internally.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and the registry.
+	Name() string
+
+	// Slot processes one time-slot. arrivals holds the cells arriving at
+	// slot t, at most one per input, in global sequence order. The
+	// returned sends are executed this slot; any arrival not sent must be
+	// buffered by the algorithm (only input-buffered algorithms may do
+	// so). Slot is called for every slot, including silent ones, so
+	// buffered algorithms can release held cells.
+	Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error)
+
+	// Buffered reports the number of cells currently held in input-port
+	// i's buffer; bufferless algorithms return 0. The fabric uses it for
+	// conservation checks and buffer-capacity enforcement.
+	Buffered(in cell.Port) int
+}
+
+// Prober is implemented by deterministic algorithms that can reveal which
+// plane they would pick next for a given (input, output) pair, assuming all
+// input gates free and no intervening arrivals. The steering adversary of
+// Theorem 6 uses it as a stand-in for the proof's "for every pair of
+// applicable configurations there is a traffic leading from one to the
+// other": instead of searching traffic space, it asks the state machine
+// directly and feeds cells until the answer is the target plane.
+type Prober interface {
+	WouldChoose(in cell.Port, out cell.Port) (cell.Plane, bool)
+}
+
+// Env is the fabric-provided environment an algorithm is constructed with.
+type Env interface {
+	// Ports returns N, the number of external ports.
+	Ports() int
+	// Planes returns K, the number of middle-stage switches.
+	Planes() int
+	// RPrime returns r' = R/r, the slots an internal line is held per cell.
+	RPrime() int64
+	// InputGateFreeAt returns the earliest slot at which input in may
+	// start a transmission to plane k. The input's own gates are local
+	// information, available to every class of algorithm.
+	InputGateFreeAt(in cell.Port, k cell.Plane) cell.Time
+	// Log returns the global event log. Fully-distributed algorithms must
+	// not call it; u-RT algorithms must cap reads at t-u.
+	Log() *Log
+}
+
+// EventKind discriminates global log entries.
+type EventKind uint8
+
+// Event kinds recorded by the fabric.
+const (
+	// EvArrival: a cell arrived at input In destined to Out.
+	EvArrival EventKind = iota
+	// EvDispatch: a cell for Out was sent from In to plane K.
+	EvDispatch
+	// EvXmit: a cell for Out crossed the (K, Out) plane-to-output line.
+	EvXmit
+)
+
+// Event is one entry of the global log.
+type Event struct {
+	T    cell.Time
+	Kind EventKind
+	In   cell.Port
+	Out  cell.Port
+	K    cell.Plane
+}
+
+// Log is the append-only record of globally visible switch events, written
+// by the fabric in slot order. Readers hold independent cursors, so several
+// u-RT viewers with different staleness can share one log.
+type Log struct {
+	events []Event
+}
+
+// Append records an event. Events must be appended in non-decreasing slot
+// order; the fabric guarantees this.
+func (l *Log) Append(e Event) {
+	if n := len(l.events); n > 0 && e.T < l.events[n-1].T {
+		panic(fmt.Sprintf("demux: log event at slot %d after slot %d", e.T, l.events[n-1].T))
+	}
+	l.events = append(l.events, e)
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Cursor tracks a reader's position in the log. The zero value starts at
+// the beginning.
+type Cursor struct{ idx int }
+
+// Read invokes fn for every unread event with T <= upto, advancing the
+// cursor past them. Events with T > upto remain unread — this is how u-RT
+// algorithms are physically prevented from seeing the last u slots.
+func (l *Log) Read(c *Cursor, upto cell.Time, fn func(Event)) {
+	for c.idx < len(l.events) && l.events[c.idx].T <= upto {
+		fn(l.events[c.idx])
+		c.idx++
+	}
+}
+
+// pickFree scans planes cyclically from start and returns the first plane
+// whose input gate is free at t, or NoPlane if every gate is busy (which
+// the input constraint makes impossible when K >= r', since at most r'-1
+// gates can be busy... per transmission; the fabric still checks).
+func pickFree(env Env, in cell.Port, t cell.Time, start cell.Plane, allowed func(cell.Plane) bool) cell.Plane {
+	k := env.Planes()
+	for d := 0; d < k; d++ {
+		p := cell.Plane((int(start) + d) % k)
+		if allowed != nil && !allowed(p) {
+			continue
+		}
+		if env.InputGateFreeAt(in, p) <= t {
+			return p
+		}
+	}
+	return cell.NoPlane
+}

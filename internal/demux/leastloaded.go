@@ -1,0 +1,86 @@
+package demux
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+)
+
+// LocalLeastLoaded is a fully-distributed algorithm that balances using the
+// only state a demultiplexor can legally count: its own past dispatches.
+// For every arriving cell it picks, among planes with a free input gate,
+// the plane to which this input has sent the fewest cells for this
+// destination (tie: lowest plane index).
+//
+// It looks smarter than round-robin, and on smooth traffic it is — but it
+// remains a deterministic fully-distributed state machine, so Theorem 6's
+// steering adversary aligns it exactly like the others (experiment E17's
+// universality check). No amount of local cleverness escapes the
+// Omega((R/r - 1) N) bound; only global information does.
+type LocalLeastLoaded struct {
+	env    Env
+	counts map[cell.Flow][]uint64 // per flow: dispatches per plane by this input
+}
+
+// NewLocalLeastLoaded returns the algorithm. It returns an error if K < r'.
+func NewLocalLeastLoaded(env Env) (*LocalLeastLoaded, error) {
+	if int64(env.Planes()) < env.RPrime() {
+		return nil, fmt.Errorf("demux: least-loaded needs K >= r' (K=%d, r'=%d)", env.Planes(), env.RPrime())
+	}
+	return &LocalLeastLoaded{env: env, counts: make(map[cell.Flow][]uint64)}, nil
+}
+
+// Name implements Algorithm.
+func (a *LocalLeastLoaded) Name() string { return "local-least-loaded" }
+
+// Slot implements Algorithm.
+func (a *LocalLeastLoaded) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
+	if len(arrivals) == 0 {
+		return nil, nil
+	}
+	sends := make([]Send, 0, len(arrivals))
+	for _, c := range arrivals {
+		counts := a.flowCounts(c.Flow)
+		best := cell.NoPlane
+		for k := 0; k < a.env.Planes(); k++ {
+			p := cell.Plane(k)
+			if a.env.InputGateFreeAt(c.Flow.In, p) > t {
+				continue
+			}
+			if best == cell.NoPlane || counts[p] < counts[best] {
+				best = p
+			}
+		}
+		if best == cell.NoPlane {
+			return nil, fmt.Errorf("demux: least-loaded input %d has no free gate at slot %d", c.Flow.In, t)
+		}
+		counts[best]++
+		sends = append(sends, Send{Cell: c, Plane: best})
+	}
+	return sends, nil
+}
+
+func (a *LocalLeastLoaded) flowCounts(f cell.Flow) []uint64 {
+	c := a.counts[f]
+	if c == nil {
+		c = make([]uint64, a.env.Planes())
+		a.counts[f] = c
+	}
+	return c
+}
+
+// Buffered implements Algorithm (bufferless).
+func (a *LocalLeastLoaded) Buffered(cell.Port) int { return 0 }
+
+// WouldChoose implements Prober: the least-loaded plane for the flow
+// assuming all gates free.
+func (a *LocalLeastLoaded) WouldChoose(in, out cell.Port) (cell.Plane, bool) {
+	counts := a.flowCounts(cell.Flow{In: in, Out: out})
+	best := cell.Plane(0)
+	for k := 1; k < a.env.Planes(); k++ {
+		if counts[k] < counts[best] {
+			best = cell.Plane(k)
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,77 @@
+package demux
+
+import (
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func TestLeastLoadedSpreadsEvenly(t *testing.T) {
+	e := newFakeEnv(1, 4, 1)
+	a, err := NewLocalLeastLoaded(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cell.NewStamper()
+	counts := map[cell.Plane]int{}
+	for slot := cell.Time(0); slot < 16; slot++ {
+		s := exec(t, e, a, slot, arr(st, slot, 0, 0))
+		counts[s[0].Plane]++
+	}
+	for p, c := range counts {
+		if c != 4 {
+			t.Errorf("plane %d received %d of 16 cells, want 4", p, c)
+		}
+	}
+}
+
+func TestLeastLoadedPerFlowIsolation(t *testing.T) {
+	e := newFakeEnv(1, 4, 1)
+	a, _ := NewLocalLeastLoaded(e)
+	st := cell.NewStamper()
+	// Load flow (0,0) heavily; flow (0,1) must still start at plane 0.
+	for slot := cell.Time(0); slot < 4; slot++ {
+		exec(t, e, a, slot, arr(st, slot, 0, 0))
+	}
+	s := exec(t, e, a, 4, arr(st, 4, 0, 1))
+	if s[0].Plane != 0 {
+		t.Errorf("fresh flow dispatched to plane %d, want 0", s[0].Plane)
+	}
+}
+
+func TestLeastLoadedSkipsBusyGates(t *testing.T) {
+	e := newFakeEnv(1, 3, 3) // r' = 3: gates stay busy
+	a, _ := NewLocalLeastLoaded(e)
+	st := cell.NewStamper()
+	used := map[cell.Plane]bool{}
+	for slot := cell.Time(0); slot < 3; slot++ {
+		s := exec(t, e, a, slot, arr(st, slot, 0, 0))
+		if used[s[0].Plane] {
+			t.Fatalf("plane %d reused within the r' window", s[0].Plane)
+		}
+		used[s[0].Plane] = true
+	}
+}
+
+func TestLeastLoadedWouldChoosePredicts(t *testing.T) {
+	e := newFakeEnv(2, 4, 1)
+	a, _ := NewLocalLeastLoaded(e)
+	st := cell.NewStamper()
+	for slot := cell.Time(0); slot < 7; slot++ {
+		p, ok := a.WouldChoose(0, 2)
+		if !ok {
+			t.Fatal("WouldChoose must be supported")
+		}
+		s := exec(t, e, a, slot, arr(st, slot, 0, 2))
+		if s[0].Plane != p {
+			t.Fatalf("slot %d: dispatched to %d, predicted %d", slot, s[0].Plane, p)
+		}
+	}
+}
+
+func TestLeastLoadedValidation(t *testing.T) {
+	e := newFakeEnv(2, 2, 3)
+	if _, err := NewLocalLeastLoaded(e); err == nil {
+		t.Error("K < r' must be rejected")
+	}
+}

@@ -1,0 +1,65 @@
+package demux
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppsim/internal/cell"
+)
+
+// Random dispatches every arriving cell to a uniformly random plane among
+// those with a free input gate. It is fully distributed (each input's
+// random stream is independent and local).
+//
+// The paper's Discussion notes that its lower-bound traffics are worst
+// cases for randomized demultiplexing algorithms too — the steering
+// adversary cannot align a randomized demultiplexor's pointers, but random
+// balls-into-bins concentration still yields Theta(sqrt(N)-ish) collisions
+// per plane; experiment E13 contrasts the two regimes empirically.
+type Random struct {
+	env  Env
+	rngs []*rand.Rand // one per input: independent local randomness
+}
+
+// NewRandom returns the randomized dispatcher seeded deterministically from
+// seed (input i uses seed+i).
+func NewRandom(env Env, seed int64) (*Random, error) {
+	if int64(env.Planes()) < env.RPrime() {
+		return nil, fmt.Errorf("demux: random needs K >= r' (K=%d, r'=%d)", env.Planes(), env.RPrime())
+	}
+	r := &Random{env: env, rngs: make([]*rand.Rand, env.Ports())}
+	for i := range r.rngs {
+		r.rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+	}
+	return r, nil
+}
+
+// Name implements Algorithm.
+func (r *Random) Name() string { return "random" }
+
+// Slot implements Algorithm.
+func (r *Random) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
+	if len(arrivals) == 0 {
+		return nil, nil
+	}
+	sends := make([]Send, 0, len(arrivals))
+	free := make([]cell.Plane, 0, r.env.Planes())
+	for _, c := range arrivals {
+		in := c.Flow.In
+		free = free[:0]
+		for k := 0; k < r.env.Planes(); k++ {
+			if r.env.InputGateFreeAt(in, cell.Plane(k)) <= t {
+				free = append(free, cell.Plane(k))
+			}
+		}
+		if len(free) == 0 {
+			return nil, fmt.Errorf("demux: random input %d has no free gate at slot %d", in, t)
+		}
+		p := free[r.rngs[in].Intn(len(free))]
+		sends = append(sends, Send{Cell: c, Plane: p})
+	}
+	return sends, nil
+}
+
+// Buffered implements Algorithm (bufferless).
+func (r *Random) Buffered(cell.Port) int { return 0 }

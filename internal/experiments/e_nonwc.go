@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppsim/internal/adversary"
+	"ppsim/internal/cell"
+	"ppsim/internal/fabric"
+	"ppsim/internal/shadow"
+	"ppsim/internal/traffic"
+)
+
+func init() {
+	register("E26", "Discussion: non-work-conserving references make the comparison meaningless", e26NonWC)
+}
+
+// e26NonWC measures the same steered PPS execution against jitter-shaping
+// (non-work-conserving) reference switches of growing target delay D. As D
+// grows the reference's own idling absorbs the PPS's concentration delay
+// and the "relative delay" collapses through zero — the Discussion's point
+// that only work-conserving references yield a meaningful competitive
+// measure.
+func e26NonWC(o Opts) (*Table, error) {
+	const n, k, rp = 16, 4, 3
+	t := &Table{
+		ID:      "E26",
+		Title:   "The same PPS execution against shaped (non-work-conserving) references",
+		Claim:   "(Discussion) 'a non-work-conserving reference switch can degrade... making the comparison meaningless': against a D-shaping reference the measured relative delay collapses as D grows, hiding the concentration entirely",
+		Columns: []string{"reference", "max relative delay", "verdict"},
+	}
+	// One fixed adversarial execution of the PPS.
+	tr, err := adversary.Concentration(n, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	pps, err := fabric.New(fabric.Config{N: n, K: k, RPrime: rp, CheckInvariants: true}, rrFactory)
+	if err != nil {
+		return nil, err
+	}
+	st := cell.NewStamper()
+	type arr struct {
+		slot  cell.Time
+		cells []cell.Cell
+	}
+	var history []arr
+	ppsDep := map[uint64]cell.Time{}
+	var buf []traffic.Arrival
+	var deps []cell.Cell
+	for slot := cell.Time(0); slot < 1<<16; slot++ {
+		if slot >= tr.End() && pps.Drained() {
+			break
+		}
+		buf = tr.Arrivals(slot, buf[:0])
+		var cells []cell.Cell
+		for _, a := range buf {
+			cells = append(cells, st.Stamp(cell.Flow{In: a.In, Out: a.Out}, slot))
+		}
+		history = append(history, arr{slot, cells})
+		deps, err = pps.Step(slot, cells, deps[:0])
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			ppsDep[d.Seq] = d.Depart
+		}
+	}
+
+	// Replay the identical arrivals through each reference and compare.
+	ds := []cell.Time{0, 8, 16, 32, 64}
+	if o.Quick {
+		ds = []cell.Time{0, 16, 64}
+	}
+	for _, d := range ds {
+		ref, err := shadow.NewShaped(n, d)
+		if err != nil {
+			return nil, err
+		}
+		refDep := map[uint64]cell.Time{}
+		var rdeps []cell.Cell
+		slot := cell.Time(0)
+		hi := 0
+		for !ref.Drained() || hi < len(history) {
+			var cells []cell.Cell
+			if hi < len(history) && history[hi].slot == slot {
+				cells = history[hi].cells
+				hi++
+			}
+			rdeps = ref.Step(slot, cells, rdeps[:0])
+			for _, c := range rdeps {
+				refDep[c.Seq] = c.Depart
+			}
+			slot++
+			if slot > 1<<16 {
+				return nil, fmt.Errorf("E26: shaped reference did not drain")
+			}
+		}
+		var worst cell.Time
+		first := true
+		for seq, pd := range ppsDep {
+			delta := pd - refDep[seq]
+			if first || delta > worst {
+				worst, first = delta, false
+			}
+		}
+		label := fmt.Sprintf("shaped D=%d", d)
+		if d == 0 {
+			label = "work-conserving (D=0)"
+		}
+		verdict := "meaningful: concentration visible"
+		if worst <= 0 {
+			verdict = "MEANINGLESS: reference idling hides the PPS entirely"
+		} else if int64(worst) < int64((n-1)*(rp-1))/2 {
+			verdict = "degraded: concentration partly hidden"
+		}
+		t.AddRow(label, itoa(worst), verdict)
+	}
+	return t, nil
+}

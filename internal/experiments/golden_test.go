@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// TestGolden pins the quick-mode text output of every experiment. The whole
+// stack is deterministic — traffic, algorithms, adversaries, scheduling —
+// so any diff here is a real behaviour change: either an intentional model
+// change (re-bless with `go test ./internal/experiments -run Golden -update`)
+// or a regression.
+func TestGolden(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Opts{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.Text()
+			path := filepath.Join("testdata", e.ID+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output diverged from golden file %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

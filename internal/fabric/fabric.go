@@ -1,0 +1,335 @@
+// Package fabric assembles the parallel packet switch of Section 2 of the
+// paper: N demultiplexors (one per input-port), K center-stage planes, and N
+// multiplexors (one per output-port), wired by rate-r internal lines in both
+// directions (a three-stage Clos network, Figure 1).
+//
+// The fabric is the referee of every experiment: it executes the
+// demultiplexing algorithm's decisions and *verifies* them against the
+// formal model — the input constraint and output constraint on the internal
+// lines, at most one arrival per input per slot, no cell drops, per-flow
+// order preservation at departure, and cell conservation across the stages.
+// An algorithm that cheats produces an error, not a better number.
+package fabric
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/demux"
+	"ppsim/internal/mux"
+	"ppsim/internal/plane"
+	"ppsim/internal/timing"
+)
+
+// Config describes the PPS geometry.
+type Config struct {
+	// N is the number of external input- and output-ports.
+	N int
+	// K is the number of center-stage planes.
+	K int
+	// RPrime is r' = R/r: the slots an internal line is occupied per cell.
+	// The speedup is S = K*r/R = K/RPrime.
+	RPrime int64
+	// BufferCap bounds each input-port buffer: 0 means a bufferless PPS
+	// (every arrival must be dispatched in its arrival slot), a positive
+	// value bounds the buffered variant, and -1 means unbounded buffers.
+	BufferCap int
+	// Mux selects the output-side pull policy; nil defaults to mux.Eager.
+	Mux mux.Policy
+	// CheckInvariants enables per-slot conservation auditing (O(N+K) per
+	// slot; cheap enough to default on in experiments).
+	CheckInvariants bool
+}
+
+// Speedup returns S = K / r'.
+func (c Config) Speedup() float64 { return float64(c.K) / float64(c.RPrime) }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("fabric: N must be positive, got %d", c.N)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("fabric: K must be positive, got %d", c.K)
+	}
+	if c.K >= c.N {
+		// The PPS premise is K < N planes running slower than the line
+		// rate; K >= N is legal hardware but outside the model studied.
+		// Allow it, but r' must still be sane.
+		_ = c
+	}
+	if c.RPrime < 1 {
+		return fmt.Errorf("fabric: r' must be >= 1, got %d", c.RPrime)
+	}
+	if c.BufferCap < -1 {
+		return fmt.Errorf("fabric: BufferCap must be -1, 0 or positive, got %d", c.BufferCap)
+	}
+	return nil
+}
+
+// PPS is one parallel packet switch instance.
+type PPS struct {
+	cfg      Config
+	alg      demux.Algorithm
+	planes   []*plane.Plane
+	inGates  *timing.Matrix // N x K
+	outGates *timing.Matrix // K x N
+	outputs  []*mux.Output
+	log      demux.Log
+
+	// pendingPerIn counts arrived-but-undispatched cells per input; the
+	// fabric cross-checks it against the algorithm's Buffered reports.
+	pendingPerIn []int
+	pendingTotal int
+
+	// seenStamp[i] == current slot marks input i as having received its
+	// cell this slot (allocation-free duplicate-arrival check).
+	seenStamp []cell.Time
+
+	arrived    uint64
+	dispatched uint64
+	departed   uint64
+	lastSlot   cell.Time
+
+	// lastFlowSeq tracks per-flow order preservation at departure.
+	lastFlowSeq map[cell.Flow]uint64
+}
+
+// New builds a PPS and constructs its demultiplexing algorithm via makeAlg,
+// which receives the fabric's demux.Env.
+func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mux == nil {
+		cfg.Mux = mux.Eager{}
+	}
+	p := &PPS{
+		cfg:          cfg,
+		inGates:      timing.NewMatrix(cfg.N, cfg.K, cfg.RPrime),
+		outGates:     timing.NewMatrix(cfg.K, cfg.N, cfg.RPrime),
+		pendingPerIn: make([]int, cfg.N),
+		seenStamp:    make([]cell.Time, cfg.N),
+		lastSlot:     -1,
+		lastFlowSeq:  make(map[cell.Flow]uint64),
+	}
+	for i := range p.seenStamp {
+		p.seenStamp[i] = cell.None
+	}
+	for k := 0; k < cfg.K; k++ {
+		p.planes = append(p.planes, plane.New(cell.Plane(k), cfg.N))
+	}
+	for j := 0; j < cfg.N; j++ {
+		p.outputs = append(p.outputs, mux.NewOutput(cell.Port(j), cfg.Mux))
+	}
+	alg, err := makeAlg(envView{p})
+	if err != nil {
+		return nil, err
+	}
+	p.alg = alg
+	return p, nil
+}
+
+// envView is the demux.Env the algorithm sees.
+type envView struct{ p *PPS }
+
+func (e envView) Ports() int      { return e.p.cfg.N }
+func (e envView) Planes() int     { return e.p.cfg.K }
+func (e envView) RPrime() int64   { return e.p.cfg.RPrime }
+func (e envView) Log() *demux.Log { return &e.p.log }
+func (e envView) InputGateFreeAt(in cell.Port, k cell.Plane) cell.Time {
+	return e.p.inGates.Gate(int(in), int(k)).FreeAt()
+}
+
+// Config returns the switch geometry.
+func (p *PPS) Config() Config { return p.cfg }
+
+// Algorithm returns the demultiplexing algorithm under test.
+func (p *PPS) Algorithm() demux.Algorithm { return p.alg }
+
+// Plane returns center-stage plane k (for inspection and failure injection).
+func (p *PPS) Plane(k cell.Plane) *plane.Plane { return p.planes[k] }
+
+// Output returns output-port j's multiplexor (for utilization reports).
+func (p *PPS) Output(j cell.Port) *mux.Output { return p.outputs[j] }
+
+// planeView adapts the center stage for one output's multiplexor.
+type planeView struct {
+	p *PPS
+	j cell.Port
+	t cell.Time
+}
+
+func (v planeView) Planes() int { return v.p.cfg.K }
+func (v planeView) Head(k cell.Plane) (cell.Cell, bool) {
+	return v.p.planes[k].Head(v.j)
+}
+func (v planeView) Pop(k cell.Plane) cell.Cell {
+	c := v.p.planes[k].Pop(v.j)
+	v.p.log.Append(demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k})
+	return c
+}
+func (v planeView) GateFree(k cell.Plane, t cell.Time) bool {
+	return v.p.outGates.Gate(int(k), int(v.j)).Free(t)
+}
+func (v planeView) SeizeGate(k cell.Plane, t cell.Time) error {
+	return v.p.outGates.Gate(int(k), int(v.j)).Seize(t)
+}
+
+// Step advances the PPS by one slot. arrivals must be stamped cells with
+// Arrive == t, at most one per input, in sequence order. Departing cells are
+// appended to dst and returned with Depart (and the intermediate stamps)
+// set.
+func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.Cell, error) {
+	if t <= p.lastSlot {
+		return dst, fmt.Errorf("fabric: non-monotone slot %d after %d", t, p.lastSlot)
+	}
+	if t != p.lastSlot+1 && p.Backlog() > 0 {
+		return dst, fmt.Errorf("fabric: skipped from slot %d to %d with %d cells in flight", p.lastSlot, t, p.Backlog())
+	}
+	p.lastSlot = t
+
+	// 1. Arrivals.
+	for _, c := range arrivals {
+		if c.Arrive != t {
+			return dst, fmt.Errorf("fabric: cell %v presented at slot %d", c, t)
+		}
+		if int(c.Flow.In) < 0 || int(c.Flow.In) >= p.cfg.N || int(c.Flow.Out) < 0 || int(c.Flow.Out) >= p.cfg.N {
+			return dst, fmt.Errorf("fabric: cell %v outside %dx%d switch", c, p.cfg.N, p.cfg.N)
+		}
+		if p.seenStamp[c.Flow.In] == t {
+			return dst, fmt.Errorf("fabric: two cells arrived at input %d in slot %d", c.Flow.In, t)
+		}
+		p.seenStamp[c.Flow.In] = t
+		p.arrived++
+		p.pendingPerIn[c.Flow.In]++
+		p.pendingTotal++
+		p.log.Append(demux.Event{T: t, Kind: demux.EvArrival, In: c.Flow.In, Out: c.Flow.Out})
+	}
+
+	// 2. Demultiplexing.
+	sends, err := p.alg.Slot(t, arrivals)
+	if err != nil {
+		return dst, fmt.Errorf("fabric: algorithm %s: %w", p.alg.Name(), err)
+	}
+	for _, s := range sends {
+		c := s.Cell
+		if s.Plane < 0 || int(s.Plane) >= p.cfg.K {
+			return dst, fmt.Errorf("fabric: %s dispatched %v to nonexistent plane %d", p.alg.Name(), c, s.Plane)
+		}
+		if err := p.inGates.Gate(int(c.Flow.In), int(s.Plane)).Seize(t); err != nil {
+			return dst, fmt.Errorf("fabric: %s violated the input constraint: %w", p.alg.Name(), err)
+		}
+		if p.pendingPerIn[c.Flow.In] == 0 {
+			return dst, fmt.Errorf("fabric: %s dispatched cell %v that is not pending at input %d", p.alg.Name(), c, c.Flow.In)
+		}
+		p.pendingPerIn[c.Flow.In]--
+		p.pendingTotal--
+		p.dispatched++
+		c.Dispatch = t
+		c.Via = s.Plane
+		if err := p.planes[s.Plane].Enqueue(c); err != nil {
+			return dst, err
+		}
+		p.log.Append(demux.Event{T: t, Kind: demux.EvDispatch, In: c.Flow.In, Out: c.Flow.Out, K: s.Plane})
+	}
+
+	// 3. Buffer discipline.
+	for i := 0; i < p.cfg.N; i++ {
+		in := cell.Port(i)
+		rep := p.alg.Buffered(in)
+		if rep != p.pendingPerIn[i] {
+			return dst, fmt.Errorf("fabric: %s reports %d buffered at input %d, fabric counts %d (cell lost or duplicated)",
+				p.alg.Name(), rep, in, p.pendingPerIn[i])
+		}
+		switch {
+		case p.cfg.BufferCap == 0 && rep != 0:
+			return dst, fmt.Errorf("fabric: bufferless PPS but %s buffered %d cells at input %d", p.alg.Name(), rep, in)
+		case p.cfg.BufferCap > 0 && rep > p.cfg.BufferCap:
+			return dst, fmt.Errorf("fabric: input %d buffer occupancy %d exceeds capacity %d", in, rep, p.cfg.BufferCap)
+		}
+	}
+
+	// 4. Multiplexing and departures.
+	for j := 0; j < p.cfg.N; j++ {
+		c, ok, err := p.outputs[j].Step(t, planeView{p: p, j: cell.Port(j), t: t})
+		if err != nil {
+			return dst, err
+		}
+		if !ok {
+			continue
+		}
+		if last, seen := p.lastFlowSeq[c.Flow]; seen && c.FlowSeq != last+1 {
+			return dst, fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, last)
+		} else if !seen && c.FlowSeq != 0 {
+			return dst, fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq)
+		}
+		p.lastFlowSeq[c.Flow] = c.FlowSeq
+		p.departed++
+		dst = append(dst, c)
+	}
+
+	// 5. Conservation audit.
+	if p.cfg.CheckInvariants {
+		if err := p.audit(); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// audit checks cell conservation across the stages.
+func (p *PPS) audit() error {
+	inPlanes := 0
+	for _, pl := range p.planes {
+		inPlanes += pl.Backlog()
+	}
+	inOutputs := 0
+	for _, o := range p.outputs {
+		inOutputs += o.Buffered()
+	}
+	total := uint64(p.pendingTotal+inPlanes+inOutputs) + p.departed
+	if total != p.arrived {
+		return fmt.Errorf("fabric: conservation violated: arrived %d != pending %d + planes %d + outputs %d + departed %d",
+			p.arrived, p.pendingTotal, inPlanes, inOutputs, p.departed)
+	}
+	return nil
+}
+
+// Backlog reports the number of cells inside the switch (input buffers,
+// planes and output buffers).
+func (p *PPS) Backlog() int {
+	n := p.pendingTotal
+	for _, pl := range p.planes {
+		n += pl.Backlog()
+	}
+	for _, o := range p.outputs {
+		n += o.Buffered()
+	}
+	return n
+}
+
+// Drained reports whether every cell that arrived has departed.
+func (p *PPS) Drained() bool { return p.arrived == p.departed }
+
+// Arrived reports the number of cells accepted so far.
+func (p *PPS) Arrived() uint64 { return p.arrived }
+
+// Departed reports the number of cells emitted so far.
+func (p *PPS) Departed() uint64 { return p.departed }
+
+// PeakPlaneQueue reports the largest per-output backlog observed across all
+// planes — the buffer provisioning the measured delays imply (Section 1.2).
+func (p *PPS) PeakPlaneQueue() int {
+	peak := 0
+	for _, pl := range p.planes {
+		if q := pl.PeakQueue(); q > peak {
+			peak = q
+		}
+	}
+	return peak
+}
+
+// Log exposes the global event log (used by diagnostics; algorithms receive
+// it through their Env).
+func (p *PPS) Log() *demux.Log { return &p.log }

@@ -1,0 +1,184 @@
+package fabric
+
+// The fabric advertises itself as the referee of every experiment: an
+// algorithm that cheats produces an error, not a better number. These tests
+// play a rogue's gallery of cheating algorithms against it and check that
+// every violation is caught.
+
+import (
+	"strings"
+	"testing"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/demux"
+)
+
+// rogue is a configurable misbehaving algorithm.
+type rogue struct {
+	env    demux.Env
+	cheat  func(t cell.Time, arrivals []cell.Cell) ([]demux.Send, error)
+	buffer func(in cell.Port) int
+}
+
+func (r *rogue) Name() string { return "rogue" }
+func (r *rogue) Slot(t cell.Time, arrivals []cell.Cell) ([]demux.Send, error) {
+	return r.cheat(t, arrivals)
+}
+func (r *rogue) Buffered(in cell.Port) int {
+	if r.buffer != nil {
+		return r.buffer(in)
+	}
+	return 0
+}
+
+func rogueFactory(cheat func(env demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error), buffer func(in cell.Port) int) func(demux.Env) (demux.Algorithm, error) {
+	return func(e demux.Env) (demux.Algorithm, error) {
+		return &rogue{env: e, cheat: cheat(e), buffer: buffer}, nil
+	}
+}
+
+func stepOne(t *testing.T, p *PPS, slot cell.Time, cells ...cell.Cell) error {
+	t.Helper()
+	_, err := p.Step(slot, cells, nil)
+	return err
+}
+
+func TestRefereeCatchesGateViolation(t *testing.T) {
+	// Dispatches every cell to plane 0 regardless of the input gate.
+	factory := rogueFactory(func(demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+		return func(_ cell.Time, arrivals []cell.Cell) ([]demux.Send, error) {
+			var out []demux.Send
+			for _, c := range arrivals {
+				out = append(out, demux.Send{Cell: c, Plane: 0})
+			}
+			return out, nil
+		}
+	}, nil)
+	p, err := New(Config{N: 2, K: 4, RPrime: 3, CheckInvariants: true}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cell.NewStamper()
+	if err := stepOne(t, p, 0, st.Stamp(cell.Flow{In: 0, Out: 0}, 0)); err != nil {
+		t.Fatalf("first dispatch legal: %v", err)
+	}
+	err = stepOne(t, p, 1, st.Stamp(cell.Flow{In: 0, Out: 1}, 1))
+	if err == nil || !strings.Contains(err.Error(), "input constraint") {
+		t.Errorf("gate reuse must be caught: %v", err)
+	}
+}
+
+func TestRefereeCatchesNonexistentPlane(t *testing.T) {
+	factory := rogueFactory(func(demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+		return func(_ cell.Time, arrivals []cell.Cell) ([]demux.Send, error) {
+			var out []demux.Send
+			for _, c := range arrivals {
+				out = append(out, demux.Send{Cell: c, Plane: 99})
+			}
+			return out, nil
+		}
+	}, nil)
+	p, _ := New(Config{N: 2, K: 2, RPrime: 1}, factory)
+	st := cell.NewStamper()
+	err := stepOne(t, p, 0, st.Stamp(cell.Flow{In: 0, Out: 0}, 0))
+	if err == nil || !strings.Contains(err.Error(), "nonexistent plane") {
+		t.Errorf("phantom plane must be caught: %v", err)
+	}
+}
+
+func TestRefereeCatchesForgedCell(t *testing.T) {
+	// Dispatches a cell that never arrived (forged identity).
+	factory := rogueFactory(func(demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+		return func(slot cell.Time, arrivals []cell.Cell) ([]demux.Send, error) {
+			forged := cell.New(999, 0, cell.Flow{In: 1, Out: 0}, slot)
+			return []demux.Send{{Cell: forged, Plane: 0}}, nil
+		}
+	}, nil)
+	p, _ := New(Config{N: 2, K: 2, RPrime: 1, CheckInvariants: true}, factory)
+	st := cell.NewStamper()
+	err := stepOne(t, p, 0, st.Stamp(cell.Flow{In: 0, Out: 0}, 0))
+	if err == nil || !strings.Contains(err.Error(), "not pending") {
+		t.Errorf("forged cell must be caught: %v", err)
+	}
+}
+
+func TestRefereeCatchesDoubleDispatch(t *testing.T) {
+	factory := rogueFactory(func(demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+		return func(_ cell.Time, arrivals []cell.Cell) ([]demux.Send, error) {
+			var out []demux.Send
+			for _, c := range arrivals {
+				out = append(out, demux.Send{Cell: c, Plane: 0}, demux.Send{Cell: c, Plane: 1})
+			}
+			return out, nil
+		}
+	}, nil)
+	p, _ := New(Config{N: 2, K: 2, RPrime: 1, CheckInvariants: true}, factory)
+	st := cell.NewStamper()
+	err := stepOne(t, p, 0, st.Stamp(cell.Flow{In: 0, Out: 0}, 0))
+	if err == nil || !strings.Contains(err.Error(), "not pending") {
+		t.Errorf("double dispatch must be caught: %v", err)
+	}
+}
+
+func TestRefereeCatchesSilentDrop(t *testing.T) {
+	// Keeps every cell but reports an empty buffer: a silent drop.
+	factory := rogueFactory(func(demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+		return func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+			return nil, nil // swallow arrivals
+		}
+	}, func(cell.Port) int { return 0 })
+	p, _ := New(Config{N: 2, K: 2, RPrime: 1, BufferCap: -1, CheckInvariants: true}, factory)
+	st := cell.NewStamper()
+	err := stepOne(t, p, 0, st.Stamp(cell.Flow{In: 0, Out: 0}, 0))
+	if err == nil || !strings.Contains(err.Error(), "cell lost or duplicated") {
+		t.Errorf("silent drop must be caught: %v", err)
+	}
+}
+
+func TestRefereeCatchesOverclaimedBuffer(t *testing.T) {
+	// Dispatches everything but claims cells are still buffered.
+	factory := rogueFactory(func(env demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+		return func(slot cell.Time, arrivals []cell.Cell) ([]demux.Send, error) {
+			var out []demux.Send
+			for _, c := range arrivals {
+				out = append(out, demux.Send{Cell: c, Plane: 0})
+			}
+			return out, nil
+		}
+	}, func(cell.Port) int { return 3 })
+	p, _ := New(Config{N: 2, K: 2, RPrime: 1, BufferCap: -1, CheckInvariants: true}, factory)
+	st := cell.NewStamper()
+	err := stepOne(t, p, 0, st.Stamp(cell.Flow{In: 0, Out: 0}, 0))
+	if err == nil || !strings.Contains(err.Error(), "cell lost or duplicated") {
+		t.Errorf("phantom buffered cells must be caught: %v", err)
+	}
+}
+
+func TestRefereeHonestAlgorithmPasses(t *testing.T) {
+	// Control: an honest single-plane-rotation rogue passes all checks.
+	factory := rogueFactory(func(env demux.Env) func(cell.Time, []cell.Cell) ([]demux.Send, error) {
+		next := cell.Plane(0)
+		return func(slot cell.Time, arrivals []cell.Cell) ([]demux.Send, error) {
+			var out []demux.Send
+			for _, c := range arrivals {
+				for env.InputGateFreeAt(c.Flow.In, next) > slot {
+					next = (next + 1) % cell.Plane(env.Planes())
+				}
+				out = append(out, demux.Send{Cell: c, Plane: next})
+				next = (next + 1) % cell.Plane(env.Planes())
+			}
+			return out, nil
+		}
+	}, nil)
+	p, err := New(Config{N: 2, K: 4, RPrime: 2, CheckInvariants: true}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cell.NewStamper()
+	for slot := cell.Time(0); slot < 20; slot++ {
+		c := st.Stamp(cell.Flow{In: cell.Port(slot % 2), Out: cell.Port((slot + 1) % 2)}, slot)
+		if err := stepOne(t, p, slot, c); err != nil {
+			t.Fatalf("honest algorithm flagged at slot %d: %v", slot, err)
+		}
+	}
+}

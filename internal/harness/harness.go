@@ -1,0 +1,153 @@
+// Package harness runs matched executions: one traffic source feeding both
+// a PPS under test and the shadow reference switch, slot by slot, until both
+// drain. It is the engine behind the public API, the experiment suite and
+// the adversary's scratch simulations.
+package harness
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/demux"
+	"ppsim/internal/fabric"
+	"ppsim/internal/metrics"
+	"ppsim/internal/shadow"
+	"ppsim/internal/traffic"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Horizon stops feeding arrivals at this slot even if the source is
+	// unbounded; 0 means "trust the source's End()". A run with an
+	// unbounded source and Horizon 0 is an error.
+	Horizon cell.Time
+	// MaxSlots aborts a run that fails to drain (default 1<<22).
+	MaxSlots cell.Time
+	// OnPPSDepart, if non-nil, observes every PPS departure (with all
+	// stage stamps set).
+	OnPPSDepart func(cell.Cell)
+	// Validate measures the traffic's leaky-bucket burstiness during the
+	// run (cheap; on by default in the public API).
+	Validate bool
+	// FailPlanes marks these planes failed before the first slot. The
+	// model forbids drops, so the run errors at the first dispatch into a
+	// failed plane — the fault-tolerance experiments use this to find
+	// which inputs a failure strands (Section 3 of the paper).
+	FailPlanes []cell.Plane
+}
+
+// Result summarizes a matched execution.
+type Result struct {
+	Report metrics.Report
+	// Burstiness is the measured leaky-bucket B of the offered traffic
+	// (only if Options.Validate).
+	Burstiness int64
+	// PeakPlaneQueue is the largest per-output backlog in any plane.
+	PeakPlaneQueue int
+	// Slots is the number of slots until both switches drained.
+	Slots cell.Time
+	// Utilization is the per-output busy fraction between first and last
+	// departure.
+	Utilization []float64
+	// AlgorithmName echoes the algorithm under test.
+	AlgorithmName string
+}
+
+// Run executes src through a fresh PPS built from cfg and factory, and
+// through the shadow switch, until both drain.
+func Run(cfg fabric.Config, factory func(demux.Env) (demux.Algorithm, error), src traffic.Source, opts Options) (Result, error) {
+	pps, err := fabric.New(cfg, factory)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, k := range opts.FailPlanes {
+		if int(k) < 0 || int(k) >= cfg.K {
+			return Result{}, fmt.Errorf("harness: cannot fail nonexistent plane %d", k)
+		}
+		pps.Plane(k).Fail()
+	}
+	return Drive(pps, src, opts)
+}
+
+// Drive is Run against an existing PPS (so callers can inject plane
+// failures or inspect internals afterwards). The PPS must be fresh (slot -1).
+func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
+	cfg := pps.Config()
+	if opts.MaxSlots <= 0 {
+		opts.MaxSlots = 1 << 22
+	}
+	end := src.End()
+	if end == cell.None {
+		if opts.Horizon <= 0 {
+			return Result{}, fmt.Errorf("harness: unbounded source needs an explicit Horizon")
+		}
+		end = opts.Horizon
+	} else if opts.Horizon > 0 && opts.Horizon < end {
+		end = opts.Horizon
+	}
+
+	sh := shadow.New(cfg.N)
+	st := cell.NewStamper()
+	rec := metrics.NewRecorder()
+	var vd *traffic.Validator
+	if opts.Validate {
+		vd = traffic.NewValidator(cfg.N)
+	}
+
+	var buf []traffic.Arrival
+	var deps, shDeps, cellsBuf []cell.Cell
+	slot := cell.Time(0)
+	for ; slot < opts.MaxSlots; slot++ {
+		if slot >= end && pps.Drained() && sh.Drained() {
+			break
+		}
+		// Both switches copy cells into their own queues, so the scratch
+		// slice is safe to reuse across slots.
+		cells := cellsBuf[:0]
+		if slot < end {
+			buf = src.Arrivals(slot, buf[:0])
+			if vd != nil {
+				if err := vd.Observe(slot, buf); err != nil {
+					return Result{}, err
+				}
+			}
+			for _, a := range buf {
+				cells = append(cells, st.Stamp(cell.Flow{In: a.In, Out: a.Out}, slot))
+			}
+			cellsBuf = cells
+		}
+		deps, err := pps.Step(slot, cells, deps[:0])
+		if err != nil {
+			return Result{}, err
+		}
+		for _, d := range deps {
+			rec.PPSDepart(d)
+			if opts.OnPPSDepart != nil {
+				opts.OnPPSDepart(d)
+			}
+		}
+		shDeps = sh.Step(slot, cells, shDeps[:0])
+		for _, d := range shDeps {
+			rec.ShadowDepart(d)
+		}
+	}
+	if !pps.Drained() || !sh.Drained() {
+		return Result{}, fmt.Errorf("harness: not drained after %d slots (pps backlog %d, shadow backlog %d)",
+			slot, pps.Backlog(), sh.Backlog())
+	}
+
+	res := Result{
+		Report:         rec.Report(),
+		PeakPlaneQueue: pps.PeakPlaneQueue(),
+		Slots:          slot,
+		AlgorithmName:  pps.Algorithm().Name(),
+	}
+	if vd != nil {
+		res.Burstiness = vd.Burstiness()
+	}
+	res.Utilization = make([]float64, cfg.N)
+	for j := 0; j < cfg.N; j++ {
+		res.Utilization[j] = pps.Output(cell.Port(j)).Utilization()
+	}
+	return res, nil
+}

@@ -1,0 +1,218 @@
+// Package metrics computes the paper's figures of merit from matched
+// executions of a PPS and its shadow reference switch.
+//
+//   - Relative queuing delay (RQD) of a cell: its PPS departure slot minus
+//     its shadow departure slot (propagation-free accounting; per-cell RQD
+//     can be negative when the PPS overtakes the FCFS order for an
+//     uncontended cell). The RQD of an execution is the maximum over cells.
+//   - Per-flow delay jitter: the maximal difference in queuing delay
+//     between two cells of the same flow. The relative delay jitter (RDJ)
+//     of an execution is the maximum over flows of (PPS jitter − shadow
+//     jitter).
+package metrics
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/stats"
+)
+
+// minmax tracks delay extremes for one flow in one switch.
+type minmax struct {
+	min, max cell.Time
+	n        int
+}
+
+func (m *minmax) add(v cell.Time) {
+	if m.n == 0 || v < m.min {
+		m.min = v
+	}
+	if m.n == 0 || v > m.max {
+		m.max = v
+	}
+	m.n++
+}
+
+func (m *minmax) jitter() cell.Time {
+	if m.n < 2 {
+		return 0
+	}
+	return m.max - m.min
+}
+
+// Recorder joins the two departure streams by global sequence number.
+// Departures may be reported in any order and from either switch first.
+type Recorder struct {
+	shadowDep []cell.Time // indexed by Seq; cell.None = not yet departed
+	ppsDep    []cell.Time
+	arriveAt  []cell.Time
+
+	rqd     stats.Summary
+	flowPPS map[cell.Flow]*minmax
+	flowSh  map[cell.Flow]*minmax
+
+	// Stage decomposition of PPS delay: input buffer, plane queue + line,
+	// output resequencing buffer.
+	inputWait  stats.Summary
+	planeWait  stats.Summary
+	outputWait stats.Summary
+
+	matched  uint64
+	maxRQD   cell.Time
+	maxRQDok bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		flowPPS: make(map[cell.Flow]*minmax),
+		flowSh:  make(map[cell.Flow]*minmax),
+	}
+}
+
+func grow(s []cell.Time, idx uint64) []cell.Time {
+	for uint64(len(s)) <= idx {
+		s = append(s, cell.None)
+	}
+	return s
+}
+
+// ShadowDepart records a departure from the reference switch.
+func (r *Recorder) ShadowDepart(c cell.Cell) {
+	r.shadowDep = grow(r.shadowDep, c.Seq)
+	r.arriveAt = grow(r.arriveAt, c.Seq)
+	if r.shadowDep[c.Seq] != cell.None {
+		panic(fmt.Sprintf("metrics: shadow departure of cell %d recorded twice", c.Seq))
+	}
+	r.shadowDep[c.Seq] = c.Depart
+	r.arriveAt[c.Seq] = c.Arrive
+	mm := r.flowSh[c.Flow]
+	if mm == nil {
+		mm = &minmax{}
+		r.flowSh[c.Flow] = mm
+	}
+	mm.add(c.Depart - c.Arrive)
+	r.tryMatch(c.Seq)
+}
+
+// PPSDepart records a departure from the PPS.
+func (r *Recorder) PPSDepart(c cell.Cell) {
+	r.ppsDep = grow(r.ppsDep, c.Seq)
+	if r.ppsDep[c.Seq] != cell.None {
+		panic(fmt.Sprintf("metrics: PPS departure of cell %d recorded twice", c.Seq))
+	}
+	r.ppsDep[c.Seq] = c.Depart
+	mm := r.flowPPS[c.Flow]
+	if mm == nil {
+		mm = &minmax{}
+		r.flowPPS[c.Flow] = mm
+	}
+	mm.add(c.Depart - c.Arrive)
+	// Stage decomposition, when the intermediate stamps are present (the
+	// fabric always sets them; foreign departures may not).
+	if c.Dispatch != cell.None && c.AtOutput != cell.None {
+		r.inputWait.Add(int64(c.Dispatch - c.Arrive))
+		r.planeWait.Add(int64(c.AtOutput - c.Dispatch))
+		r.outputWait.Add(int64(c.Depart - c.AtOutput))
+	}
+	r.tryMatch(c.Seq)
+}
+
+func (r *Recorder) tryMatch(seq uint64) {
+	if uint64(len(r.shadowDep)) <= seq || uint64(len(r.ppsDep)) <= seq {
+		return
+	}
+	sd, pd := r.shadowDep[seq], r.ppsDep[seq]
+	if sd == cell.None || pd == cell.None {
+		return
+	}
+	d := pd - sd
+	r.rqd.Add(int64(d))
+	if !r.maxRQDok || d > r.maxRQD {
+		r.maxRQD, r.maxRQDok = d, true
+	}
+	r.matched++
+}
+
+// Matched reports how many cells have departed both switches.
+func (r *Recorder) Matched() uint64 { return r.matched }
+
+// Report summarizes an execution.
+type Report struct {
+	// Cells is the number of matched cells.
+	Cells uint64
+	// MaxRQD is the relative queuing delay of the execution.
+	MaxRQD cell.Time
+	// MeanRQD is the mean per-cell relative queuing delay.
+	MeanRQD float64
+	// P99RQD is the 99th percentile per-cell relative queuing delay.
+	P99RQD cell.Time
+	// MaxPPSDelay is the largest absolute queuing delay in the PPS.
+	MaxPPSDelay cell.Time
+	// MaxShadowDelay is the largest absolute queuing delay in the shadow.
+	MaxShadowDelay cell.Time
+	// RDJ is the relative delay jitter: max over flows of
+	// (PPS jitter - shadow jitter).
+	RDJ cell.Time
+	// MaxPPSJitter is the largest per-flow jitter inside the PPS.
+	MaxPPSJitter cell.Time
+	// Flows is the number of distinct flows observed.
+	Flows int
+	// Stage decomposition of the PPS delay (means and maxima per cell):
+	// time in the input-port buffer, time in the plane (queue plus the
+	// line transmissions on both sides), and time in the output-port
+	// resequencing buffer.
+	MeanInputWait  float64
+	MeanPlaneWait  float64
+	MeanOutputWait float64
+	MaxInputWait   cell.Time
+	MaxPlaneWait   cell.Time
+	MaxOutputWait  cell.Time
+}
+
+// Report computes the execution summary. It panics if any cell departed one
+// switch but not the other (the harness must drain both).
+func (r *Recorder) Report() Report {
+	if uint64(len(r.shadowDep)) != uint64(len(r.ppsDep)) || r.matched != uint64(len(r.ppsDep)) {
+		panic(fmt.Sprintf("metrics: unmatched departures (shadow %d, pps %d, matched %d)",
+			len(r.shadowDep), len(r.ppsDep), r.matched))
+	}
+	rep := Report{
+		Cells:          r.matched,
+		MaxRQD:         r.maxRQD,
+		MeanRQD:        r.rqd.Mean(),
+		P99RQD:         cell.Time(r.rqd.Percentile(99)),
+		Flows:          len(r.flowPPS),
+		MeanInputWait:  r.inputWait.Mean(),
+		MeanPlaneWait:  r.planeWait.Mean(),
+		MeanOutputWait: r.outputWait.Mean(),
+		MaxInputWait:   cell.Time(r.inputWait.Max()),
+		MaxPlaneWait:   cell.Time(r.planeWait.Max()),
+		MaxOutputWait:  cell.Time(r.outputWait.Max()),
+	}
+	for f, mp := range r.flowPPS {
+		if mp.max > rep.MaxPPSDelay {
+			rep.MaxPPSDelay = mp.max
+		}
+		j := mp.jitter()
+		if j > rep.MaxPPSJitter {
+			rep.MaxPPSJitter = j
+		}
+		if ms := r.flowSh[f]; ms != nil {
+			if rel := j - ms.jitter(); rel > rep.RDJ {
+				rep.RDJ = rel
+			}
+			if ms.max > rep.MaxShadowDelay {
+				rep.MaxShadowDelay = ms.max
+			}
+		}
+	}
+	return rep
+}
+
+// String renders the headline numbers.
+func (rep Report) String() string {
+	return fmt.Sprintf("cells=%d flows=%d maxRQD=%d meanRQD=%.2f p99RQD=%d RDJ=%d maxDelay(pps=%d shadow=%d)",
+		rep.Cells, rep.Flows, rep.MaxRQD, rep.MeanRQD, rep.P99RQD, rep.RDJ, rep.MaxPPSDelay, rep.MaxShadowDelay)
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func dep(seq, flowSeq uint64, f cell.Flow, arrive, depart cell.Time) cell.Cell {
+	c := cell.New(seq, flowSeq, f, arrive)
+	c.Depart = depart
+	return c
+}
+
+func TestRQDComputation(t *testing.T) {
+	r := NewRecorder()
+	f := cell.Flow{In: 0, Out: 0}
+	// Cell 0: shadow departs at 0, PPS at 4 -> RQD 4.
+	r.ShadowDepart(dep(0, 0, f, 0, 0))
+	r.PPSDepart(dep(0, 0, f, 0, 4))
+	// Cell 1: PPS first (order independence), RQD -1 (overtaking).
+	r.PPSDepart(dep(1, 1, f, 1, 1))
+	r.ShadowDepart(dep(1, 1, f, 1, 2))
+	if r.Matched() != 2 {
+		t.Fatalf("Matched = %d", r.Matched())
+	}
+	rep := r.Report()
+	if rep.MaxRQD != 4 {
+		t.Errorf("MaxRQD = %d, want 4", rep.MaxRQD)
+	}
+	if rep.MeanRQD != 1.5 {
+		t.Errorf("MeanRQD = %f, want 1.5", rep.MeanRQD)
+	}
+	if rep.Cells != 2 || rep.Flows != 1 {
+		t.Errorf("Cells/Flows = %d/%d", rep.Cells, rep.Flows)
+	}
+	if rep.MaxPPSDelay != 4 || rep.MaxShadowDelay != 1 {
+		t.Errorf("MaxDelay pps=%d shadow=%d", rep.MaxPPSDelay, rep.MaxShadowDelay)
+	}
+}
+
+func TestJitterComputation(t *testing.T) {
+	r := NewRecorder()
+	f := cell.Flow{In: 1, Out: 2}
+	// Shadow delays: 0 and 1 -> jitter 1. PPS delays: 0 and 7 -> jitter 7.
+	r.ShadowDepart(dep(0, 0, f, 0, 0))
+	r.ShadowDepart(dep(1, 1, f, 5, 6))
+	r.PPSDepart(dep(0, 0, f, 0, 0))
+	r.PPSDepart(dep(1, 1, f, 5, 12))
+	rep := r.Report()
+	if rep.MaxPPSJitter != 7 {
+		t.Errorf("MaxPPSJitter = %d, want 7", rep.MaxPPSJitter)
+	}
+	if rep.RDJ != 6 {
+		t.Errorf("RDJ = %d, want 6", rep.RDJ)
+	}
+}
+
+func TestSingleCellFlowHasZeroJitter(t *testing.T) {
+	r := NewRecorder()
+	f := cell.Flow{In: 0, Out: 1}
+	r.ShadowDepart(dep(0, 0, f, 0, 0))
+	r.PPSDepart(dep(0, 0, f, 0, 9))
+	rep := r.Report()
+	if rep.RDJ != 0 || rep.MaxPPSJitter != 0 {
+		t.Errorf("single-cell jitter should be 0: RDJ=%d jitter=%d", rep.RDJ, rep.MaxPPSJitter)
+	}
+}
+
+func TestReportPanicsOnUnmatched(t *testing.T) {
+	r := NewRecorder()
+	r.ShadowDepart(dep(0, 0, cell.Flow{}, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unmatched departures")
+		}
+	}()
+	r.Report()
+}
+
+func TestDoubleDepartPanics(t *testing.T) {
+	r := NewRecorder()
+	c := dep(0, 0, cell.Flow{}, 0, 0)
+	r.ShadowDepart(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for duplicate departure")
+		}
+	}()
+	r.ShadowDepart(c)
+}
+
+func TestReportString(t *testing.T) {
+	r := NewRecorder()
+	r.ShadowDepart(dep(0, 0, cell.Flow{}, 0, 0))
+	r.PPSDepart(dep(0, 0, cell.Flow{}, 0, 3))
+	s := r.Report().String()
+	if !strings.Contains(s, "maxRQD=3") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestStageDecomposition(t *testing.T) {
+	r := NewRecorder()
+	f := cell.Flow{In: 0, Out: 0}
+	c := cell.New(0, 0, f, 10)
+	c.Dispatch = 13 // 3 slots in the input buffer
+	c.AtOutput = 20 // 7 slots in the plane
+	c.Depart = 22   // 2 slots resequencing
+	r.PPSDepart(c)
+	sh := dep(0, 0, f, 10, 11)
+	r.ShadowDepart(sh)
+	rep := r.Report()
+	if rep.MeanInputWait != 3 || rep.MeanPlaneWait != 7 || rep.MeanOutputWait != 2 {
+		t.Errorf("stage means = %f/%f/%f, want 3/7/2",
+			rep.MeanInputWait, rep.MeanPlaneWait, rep.MeanOutputWait)
+	}
+	if rep.MaxInputWait != 3 || rep.MaxPlaneWait != 7 || rep.MaxOutputWait != 2 {
+		t.Errorf("stage maxima = %d/%d/%d, want 3/7/2",
+			rep.MaxInputWait, rep.MaxPlaneWait, rep.MaxOutputWait)
+	}
+	// Stage sum equals the total PPS delay.
+	if got := rep.MeanInputWait + rep.MeanPlaneWait + rep.MeanOutputWait; got != 12 {
+		t.Errorf("stage sum %f != total delay 12", got)
+	}
+}
+
+func TestStageDecompositionSkipsUnstamped(t *testing.T) {
+	// Cells without intermediate stamps (e.g. a foreign switch) must not
+	// poison the stage summaries.
+	r := NewRecorder()
+	f := cell.Flow{In: 0, Out: 0}
+	r.PPSDepart(dep(0, 0, f, 0, 5)) // no Dispatch/AtOutput stamps
+	r.ShadowDepart(dep(0, 0, f, 0, 0))
+	rep := r.Report()
+	if rep.MeanInputWait != 0 || rep.MaxPlaneWait != 0 {
+		t.Errorf("unstamped cells leaked into stage stats: %+v", rep)
+	}
+}
+
+func TestP99(t *testing.T) {
+	r := NewRecorder()
+	f := cell.Flow{In: 0, Out: 0}
+	for i := uint64(0); i < 100; i++ {
+		d := cell.Time(1)
+		if i == 99 {
+			d = 50
+		}
+		r.ShadowDepart(dep(i, i, f, cell.Time(i*10), cell.Time(i*10)))
+		r.PPSDepart(dep(i, i, f, cell.Time(i*10), cell.Time(i*10)+d))
+	}
+	rep := r.Report()
+	if rep.P99RQD != 1 {
+		t.Errorf("P99RQD = %d, want 1", rep.P99RQD)
+	}
+	if rep.MaxRQD != 50 {
+		t.Errorf("MaxRQD = %d, want 50", rep.MaxRQD)
+	}
+}

@@ -1,0 +1,302 @@
+// Package mux implements the PPS output-ports: the multiplexors that pull
+// cells from the plane queues over the rate-r output-side lines and emit
+// them on the external line at rate R.
+//
+// The multiplexor enforces the global FCFS discipline of the reference
+// switch: among cells present in the output-port buffer, the one that
+// arrived to the PPS earliest (globally, across inputs) departs first. Two
+// pull policies are provided; their comparison is one of the ablations
+// called out in DESIGN.md §5:
+//
+//   - Eager: every slot, pull the head of every plane queue whose output
+//     line is free. The aggregate inflow to an output can reach S*R, which
+//     the model permits (the speedup is exactly the ratio of aggregate
+//     internal capacity to the external line).
+//   - LazyFCFS: every slot, pull only the globally-earliest head among the
+//     planes whose line is free (one pull per slot).
+package mux
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ppsim/internal/cell"
+)
+
+// PlaneView is the fabric-provided view of the center stage restricted to
+// one output-port: the per-plane queues destined to that output and the
+// output-side line gates.
+type PlaneView interface {
+	// Planes returns K.
+	Planes() int
+	// Head returns the head cell of plane k's queue for this output.
+	Head(k cell.Plane) (cell.Cell, bool)
+	// Pop removes and returns that head cell.
+	Pop(k cell.Plane) cell.Cell
+	// GateFree reports whether the (k, output) line may start a
+	// transmission at slot t.
+	GateFree(k cell.Plane, t cell.Time) bool
+	// SeizeGate marks the (k, output) line busy for r' slots from t.
+	SeizeGate(k cell.Plane, t cell.Time) error
+}
+
+// Policy selects which plane queues to drain each slot.
+type Policy interface {
+	// Name returns the registry name of the policy.
+	Name() string
+	// Pull moves zero or more cells from the planes into the buffer.
+	Pull(t cell.Time, pv PlaneView, buf *Buffer) error
+}
+
+// Eager pulls from every free line with a pending cell.
+type Eager struct{}
+
+// Name implements Policy.
+func (Eager) Name() string { return "eager" }
+
+// Pull implements Policy.
+func (Eager) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
+	for k := 0; k < pv.Planes(); k++ {
+		kp := cell.Plane(k)
+		if _, ok := pv.Head(kp); !ok || !pv.GateFree(kp, t) {
+			continue
+		}
+		if err := pv.SeizeGate(kp, t); err != nil {
+			return err
+		}
+		c := pv.Pop(kp)
+		c.AtOutput = t
+		buf.Push(c)
+	}
+	return nil
+}
+
+// BoundedEager pulls at most Max cells per slot, earliest heads first — the
+// dial between LazyFCFS (Max = 1) and Eager (Max >= K). It models an
+// output-port whose reassembly memory bandwidth admits fewer than S*R
+// writes per slot, and quantifies how much of the eager policy's advantage
+// survives at each budget (ablation, DESIGN.md §5).
+type BoundedEager struct {
+	// Max is the per-slot pull budget (>= 1).
+	Max int
+}
+
+// Name implements Policy.
+func (p BoundedEager) Name() string { return fmt.Sprintf("bounded-eager-%d", p.Max) }
+
+// Pull implements Policy.
+func (p BoundedEager) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
+	if p.Max < 1 {
+		return fmt.Errorf("mux: bounded-eager budget must be >= 1, got %d", p.Max)
+	}
+	for pulled := 0; pulled < p.Max; pulled++ {
+		best := cell.Plane(-1)
+		var bestSeq uint64
+		for k := 0; k < pv.Planes(); k++ {
+			kp := cell.Plane(k)
+			h, ok := pv.Head(kp)
+			if !ok || !pv.GateFree(kp, t) {
+				continue
+			}
+			if best < 0 || h.Seq < bestSeq {
+				best, bestSeq = kp, h.Seq
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		if err := pv.SeizeGate(best, t); err != nil {
+			return err
+		}
+		c := pv.Pop(best)
+		c.AtOutput = t
+		buf.Push(c)
+	}
+	return nil
+}
+
+// LazyFCFS pulls at most one cell per slot: the globally-earliest head among
+// planes with a free line.
+type LazyFCFS struct{}
+
+// Name implements Policy.
+func (LazyFCFS) Name() string { return "lazy-fcfs" }
+
+// Pull implements Policy.
+func (LazyFCFS) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
+	best := cell.Plane(-1)
+	var bestSeq uint64
+	for k := 0; k < pv.Planes(); k++ {
+		kp := cell.Plane(k)
+		h, ok := pv.Head(kp)
+		if !ok || !pv.GateFree(kp, t) {
+			continue
+		}
+		if best < 0 || h.Seq < bestSeq {
+			best, bestSeq = kp, h.Seq
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	if err := pv.SeizeGate(best, t); err != nil {
+		return err
+	}
+	c := pv.Pop(best)
+	c.AtOutput = t
+	buf.Push(c)
+	return nil
+}
+
+// Buffer is the output-port resequencing buffer. The PPS must preserve the
+// order of cells within a flow, but cells of one flow switched through
+// different planes can reach the output out of order; the buffer therefore
+// *parks* a cell whose per-flow predecessor has not yet departed, and emits
+// — among the in-order ("emittable") cells — the one that arrived to the
+// switch earliest (global FCFS, matching the reference discipline). The
+// waiting this induces is genuine resequencing delay and is charged to the
+// PPS, as the paper's relative-delay accounting requires.
+type Buffer struct {
+	emittable cellHeap
+	parked    map[cell.Flow]*cellHeap // ordered by FlowSeq
+	next      map[cell.Flow]uint64    // next FlowSeq the output may emit
+	parkedLen int
+}
+
+// Push inserts a cell delivered by a plane.
+func (b *Buffer) Push(c cell.Cell) {
+	if b.next == nil {
+		b.next = make(map[cell.Flow]uint64)
+		b.parked = make(map[cell.Flow]*cellHeap)
+	}
+	if c.FlowSeq == b.next[c.Flow] {
+		heap.Push(&b.emittable, c)
+		return
+	}
+	h := b.parked[c.Flow]
+	if h == nil {
+		h = &cellHeap{byFlowSeq: true}
+		b.parked[c.Flow] = h
+	}
+	heap.Push(h, c)
+	b.parkedLen++
+}
+
+// Len reports the number of buffered cells (emittable and parked).
+func (b *Buffer) Len() int { return len(b.emittable.cells) + b.parkedLen }
+
+// PopEmittable removes and returns the earliest in-order cell; ok is false
+// when every buffered cell is waiting for a predecessor (or the buffer is
+// empty).
+func (b *Buffer) PopEmittable() (cell.Cell, bool) {
+	if len(b.emittable.cells) == 0 {
+		return cell.Cell{}, false
+	}
+	c := heap.Pop(&b.emittable).(cell.Cell)
+	b.next[c.Flow] = c.FlowSeq + 1
+	// Release the flow's successor if it was parked.
+	if h := b.parked[c.Flow]; h != nil && len(h.cells) > 0 && h.cells[0].FlowSeq == c.FlowSeq+1 {
+		nc := heap.Pop(h).(cell.Cell)
+		b.parkedLen--
+		heap.Push(&b.emittable, nc)
+	}
+	return c, true
+}
+
+// PeekEmittable returns the earliest in-order cell without removing it.
+func (b *Buffer) PeekEmittable() (cell.Cell, bool) {
+	if len(b.emittable.cells) == 0 {
+		return cell.Cell{}, false
+	}
+	return b.emittable.cells[0], true
+}
+
+// cellHeap orders cells by Seq (global FCFS) or by FlowSeq (per-flow
+// resequencing) depending on byFlowSeq.
+type cellHeap struct {
+	cells     []cell.Cell
+	byFlowSeq bool
+}
+
+func (h cellHeap) Len() int { return len(h.cells) }
+func (h cellHeap) Less(i, j int) bool {
+	if h.byFlowSeq {
+		return h.cells[i].FlowSeq < h.cells[j].FlowSeq
+	}
+	return h.cells[i].Seq < h.cells[j].Seq
+}
+func (h cellHeap) Swap(i, j int)       { h.cells[i], h.cells[j] = h.cells[j], h.cells[i] }
+func (h *cellHeap) Push(x interface{}) { h.cells = append(h.cells, x.(cell.Cell)) }
+func (h *cellHeap) Pop() interface{} {
+	old := h.cells
+	n := len(old)
+	v := old[n-1]
+	h.cells = old[:n-1]
+	return v
+}
+
+// Output is one PPS output-port: a pull policy plus the reassembly buffer
+// and the external-line emission logic (at most one cell per slot; a cell
+// may depart in the very slot it reached the output-port).
+type Output struct {
+	j      cell.Port
+	policy Policy
+	buf    Buffer
+
+	busySlots  int64 // slots in which a cell departed
+	firstSlot  cell.Time
+	lastSlot   cell.Time
+	everActive bool
+}
+
+// NewOutput returns output-port j with the given pull policy. It panics on
+// a nil policy.
+func NewOutput(j cell.Port, p Policy) *Output {
+	if p == nil {
+		panic("mux: nil policy")
+	}
+	return &Output{j: j, policy: p, firstSlot: cell.None, lastSlot: cell.None}
+}
+
+// Step advances the output by one slot: pull per policy, then emit the
+// earliest buffered cell, if any. It returns the departed cell (ok=false if
+// the output was idle) or an error if the policy violated a gate.
+func (o *Output) Step(t cell.Time, pv PlaneView) (cell.Cell, bool, error) {
+	if err := o.policy.Pull(t, pv, &o.buf); err != nil {
+		return cell.Cell{}, false, err
+	}
+	c, ok := o.buf.PopEmittable()
+	if !ok {
+		return cell.Cell{}, false, nil
+	}
+	if c.Flow.Out != o.j {
+		return cell.Cell{}, false, fmt.Errorf("mux: output %d pulled cell %v for output %d", o.j, c, c.Flow.Out)
+	}
+	c.Depart = t
+	o.busySlots++
+	if !o.everActive {
+		o.firstSlot = t
+		o.everActive = true
+	}
+	o.lastSlot = t
+	return c, true, nil
+}
+
+// Buffered reports the number of cells waiting in the reassembly buffer.
+func (o *Output) Buffered() int { return o.buf.Len() }
+
+// Utilization reports the fraction of slots in [firstDeparture,
+// lastDeparture] in which a cell departed — 1.0 means the output never
+// idled between its first and last departure (the Theorem 14 "no relative
+// queuing delay in congested periods" signature). It returns 0 when the
+// output never departed a cell.
+func (o *Output) Utilization() float64 {
+	if !o.everActive {
+		return 0
+	}
+	span := int64(o.lastSlot-o.firstSlot) + 1
+	return float64(o.busySlots) / float64(span)
+}
+
+// BusySlots reports how many slots emitted a cell.
+func (o *Output) BusySlots() int64 { return o.busySlots }

@@ -1,0 +1,188 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/shadow"
+	"ppsim/internal/traffic"
+)
+
+func TestCurveEvaluation(t *testing.T) {
+	a := Arrival{Rate: 0.5, Burst: 3}
+	if a.At(0) != 0 || a.At(-1) != 0 {
+		t.Error("alpha(<=0) must be 0")
+	}
+	if a.At(10) != 8 {
+		t.Errorf("alpha(10) = %f", a.At(10))
+	}
+	s := Service{Rate: 2, Latency: 3}
+	if s.At(3) != 0 || s.At(2) != 0 {
+		t.Error("beta within latency must be 0")
+	}
+	if s.At(5) != 4 {
+		t.Errorf("beta(5) = %f", s.At(5))
+	}
+}
+
+func TestBounds(t *testing.T) {
+	a := Arrival{Rate: 0.5, Burst: 4}
+	s := Service{Rate: 1, Latency: 2}
+	d, err := DelayBound(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 6 { // 2 + 4/1
+		t.Errorf("DelayBound = %f", d)
+	}
+	b, err := BacklogBound(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 5 { // 4 + 0.5*2
+		t.Errorf("BacklogBound = %f", b)
+	}
+	out, err := Output(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rate != 0.5 || out.Burst != 5 {
+		t.Errorf("Output = %+v", out)
+	}
+}
+
+func TestUnstableSystemRejected(t *testing.T) {
+	a := Arrival{Rate: 2, Burst: 0}
+	s := Service{Rate: 1, Latency: 0}
+	if _, err := DelayBound(a, s); err == nil {
+		t.Error("overloaded server must have unbounded delay")
+	}
+	if _, err := BacklogBound(a, s); err == nil {
+		t.Error("overloaded server must have unbounded backlog")
+	}
+	if _, err := Output(a, s); err == nil {
+		t.Error("overloaded server has no output curve")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Arrival{Rate: -1}).Validate(); err == nil {
+		t.Error("negative rate must be rejected")
+	}
+	if err := (Service{Rate: 0}).Validate(); err == nil {
+		t.Error("zero service rate must be rejected")
+	}
+	if err := (Service{Rate: 1, Latency: -1}).Validate(); err == nil {
+		t.Error("negative latency must be rejected")
+	}
+	if _, err := DelayBound(Arrival{Rate: -1}, OQOutputPort()); err == nil {
+		t.Error("DelayBound must propagate validation")
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	s, err := Convolve(Service{Rate: 2, Latency: 1}, Service{Rate: 1, Latency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rate != 1 || s.Latency != 4 {
+		t.Errorf("Convolve = %+v", s)
+	}
+	if _, err := Convolve(Service{}, Service{Rate: 1}); err == nil {
+		t.Error("invalid operand must be rejected")
+	}
+}
+
+func TestPaperCorollaries(t *testing.T) {
+	// The paper's two uses of the calculus:
+	// 1. A work-conserving switch under (R, B) traffic needs buffers of
+	//    at most B.
+	b, err := BacklogBound(FromLeakyBucket(1, 7), OQOutputPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 7 {
+		t.Errorf("backlog bound %f, want B = 7", b)
+	}
+	// 2. The same switch delays cells at most B slots.
+	d, err := DelayBound(FromLeakyBucket(1, 7), OQOutputPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 7 {
+		t.Errorf("delay bound %f, want B = 7", d)
+	}
+}
+
+func TestConcentrationIsUnstableSinglePlane(t *testing.T) {
+	// Lemma 4 in calculus terms: rate-R traffic into a single plane path
+	// (rate 1/r') is unstable, while the K-plane aggregate absorbs it.
+	fullRate := FromLeakyBucket(1, 0)
+	if _, err := DelayBound(fullRate, PPSPlanePath(2)); err == nil {
+		t.Error("one plane cannot carry rate R: expected unbounded delay")
+	}
+	d, err := DelayBound(fullRate, PPSAggregate(4, 2)) // S = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 { // latency r'-1 = 1, burst 0
+		t.Errorf("aggregate delay bound %f, want 1", d)
+	}
+}
+
+// Property: the measured worst delay and backlog of the shadow switch never
+// exceed the calculus bounds, for random shaped traffic.
+func TestShadowRespectsBounds(t *testing.T) {
+	prop := func(seed int64, bRaw uint8) bool {
+		const n = 4
+		b := int64(bRaw % 6)
+		demand := traffic.NewRegulator(n, b, traffic.NewBernoulli(n, 0.7, 150, seed))
+		sh := shadow.New(n)
+		st := cell.NewStamper()
+		dBound, err := DelayBound(FromLeakyBucket(1, b), OQOutputPort())
+		if err != nil {
+			return false
+		}
+		qBound, err := BacklogBound(FromLeakyBucket(1, b), OQOutputPort())
+		if err != nil {
+			return false
+		}
+		var buf []traffic.Arrival
+		var deps []cell.Cell
+		for slot := cell.Time(0); slot < 3000; slot++ {
+			buf = demand.Arrivals(slot, nil)
+			cells := make([]cell.Cell, 0, len(buf))
+			for _, a := range buf {
+				cells = append(cells, st.Stamp(cell.Flow{In: a.In, Out: a.Out}, slot))
+			}
+			deps = sh.Step(slot, cells, deps[:0])
+			for _, d := range deps {
+				if float64(d.QueuingDelay()) > dBound {
+					return false
+				}
+			}
+			for j := 0; j < n; j++ {
+				if float64(sh.QueueLen(cell.Port(j))) > qBound {
+					return false
+				}
+			}
+			if slot > 150 && sh.Drained() {
+				break
+			}
+		}
+		return sh.Drained()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromLeakyBucket(t *testing.T) {
+	a := FromLeakyBucket(1, 5)
+	// A window of tau slots holds at most tau*R + B cells.
+	if got := a.At(10); math.Abs(got-15) > 1e-12 {
+		t.Errorf("alpha(10) = %f, want 15", got)
+	}
+}

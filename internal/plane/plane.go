@@ -1,0 +1,102 @@
+// Package plane models one middle-stage switch of the PPS: an N x N
+// output-queued switch operating at the internal rate r, with one FIFO per
+// output-port (Figure 1 of the paper). Cells are enqueued by the
+// demultiplexors over the input-side lines and drained toward the PPS
+// output-ports over the output-side lines; both line banks are rate-limited
+// by the fabric, not by the plane itself.
+//
+// The plane's scheduling policy is deliberately optimal-FIFO: the
+// lower-bound proofs explicitly do not depend on the planes' scheduling,
+// which "may be optimal" (remark after Lemma 4) — only on the fact that
+// cells are not dropped.
+//
+// A plane can be marked failed to exercise the fault-tolerance argument of
+// Section 3 (static plane partitioning amplifies the damage of a single
+// plane failure).
+package plane
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/queue"
+)
+
+// Plane is one center-stage switch.
+type Plane struct {
+	id     cell.Plane
+	n      int
+	queues []queue.FIFO[cell.Cell]
+	total  int
+	failed bool
+	// peak tracks the largest per-output backlog ever observed; large
+	// relative queuing delays imply large plane buffers (Section 1.2).
+	peak int
+}
+
+// New returns plane id for an n x n PPS. It panics if n <= 0.
+func New(id cell.Plane, n int) *Plane {
+	if n <= 0 {
+		panic(fmt.Sprintf("plane: invalid port count %d", n))
+	}
+	return &Plane{id: id, n: n, queues: make([]queue.FIFO[cell.Cell], n)}
+}
+
+// ID returns the plane's index in the center stage.
+func (p *Plane) ID() cell.Plane { return p.id }
+
+// Ports returns N.
+func (p *Plane) Ports() int { return p.n }
+
+// Enqueue accepts a cell switched through this plane. It returns an error
+// if the plane has failed (the cell would be dropped — the fabric surfaces
+// this as an execution failure, since the model forbids drops) or if the
+// destination is out of range.
+func (p *Plane) Enqueue(c cell.Cell) error {
+	if p.failed {
+		return fmt.Errorf("plane %d: cell %v dispatched to a failed plane", p.id, c)
+	}
+	j := int(c.Flow.Out)
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("plane %d: destination out of range: %v", p.id, c)
+	}
+	p.queues[j].Push(c)
+	p.total++
+	if l := p.queues[j].Len(); l > p.peak {
+		p.peak = l
+	}
+	return nil
+}
+
+// QueueLen reports the backlog for output j.
+func (p *Plane) QueueLen(j cell.Port) int { return p.queues[j].Len() }
+
+// Head returns the head cell for output j without removing it; ok is false
+// when the queue is empty.
+func (p *Plane) Head(j cell.Port) (cell.Cell, bool) {
+	if p.queues[j].Empty() {
+		return cell.Cell{}, false
+	}
+	return p.queues[j].Peek(), true
+}
+
+// Pop removes and returns the head cell for output j. It panics on an
+// empty queue (a multiplexor bug).
+func (p *Plane) Pop(j cell.Port) cell.Cell {
+	c := p.queues[j].Pop()
+	p.total--
+	return c
+}
+
+// Backlog reports the total number of cells queued in the plane.
+func (p *Plane) Backlog() int { return p.total }
+
+// PeakQueue reports the largest per-output backlog observed so far.
+func (p *Plane) PeakQueue() int { return p.peak }
+
+// Fail marks the plane failed: subsequent Enqueue calls error. Cells already
+// queued continue to drain (the output lines are assumed intact).
+func (p *Plane) Fail() { p.failed = true }
+
+// Failed reports whether the plane has been failed.
+func (p *Plane) Failed() bool { return p.failed }

@@ -1,0 +1,122 @@
+package plane
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppsim/internal/cell"
+)
+
+func mk(seq uint64, out cell.Port) cell.Cell {
+	return cell.New(seq, 0, cell.Flow{In: 0, Out: out}, 0)
+}
+
+func TestEnqueuePopFIFO(t *testing.T) {
+	p := New(0, 4)
+	for i := uint64(0); i < 5; i++ {
+		if err := p.Enqueue(mk(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.QueueLen(2) != 5 || p.Backlog() != 5 {
+		t.Fatalf("QueueLen=%d Backlog=%d", p.QueueLen(2), p.Backlog())
+	}
+	h, ok := p.Head(2)
+	if !ok || h.Seq != 0 {
+		t.Errorf("Head = %v %v", h, ok)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if c := p.Pop(2); c.Seq != i {
+			t.Errorf("Pop = %d, want %d", c.Seq, i)
+		}
+	}
+	if _, ok := p.Head(2); ok {
+		t.Error("Head on empty queue should report !ok")
+	}
+	if p.Backlog() != 0 {
+		t.Error("backlog should be zero")
+	}
+}
+
+func TestQueuesAreIndependent(t *testing.T) {
+	p := New(1, 3)
+	p.Enqueue(mk(0, 0))
+	p.Enqueue(mk(1, 2))
+	if p.QueueLen(0) != 1 || p.QueueLen(1) != 0 || p.QueueLen(2) != 1 {
+		t.Error("queues must be independent per output")
+	}
+}
+
+func TestEnqueueRangeCheck(t *testing.T) {
+	p := New(0, 2)
+	if err := p.Enqueue(mk(0, 5)); err == nil {
+		t.Error("out-of-range destination must error")
+	}
+}
+
+func TestFailurePreventsEnqueueNotDrain(t *testing.T) {
+	p := New(0, 2)
+	p.Enqueue(mk(0, 1))
+	p.Fail()
+	if !p.Failed() {
+		t.Error("Failed should report true")
+	}
+	if err := p.Enqueue(mk(1, 1)); err == nil {
+		t.Error("enqueue to failed plane must error")
+	}
+	if c := p.Pop(1); c.Seq != 0 {
+		t.Error("queued cells must still drain after failure")
+	}
+}
+
+func TestPeakQueue(t *testing.T) {
+	p := New(0, 2)
+	for i := uint64(0); i < 7; i++ {
+		p.Enqueue(mk(i, 0))
+	}
+	p.Pop(0)
+	p.Pop(0)
+	p.Enqueue(mk(7, 0))
+	if p.PeakQueue() != 7 {
+		t.Errorf("PeakQueue = %d, want 7", p.PeakQueue())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 0)
+}
+
+// Property: per-output FIFO order is preserved for any enqueue pattern.
+func TestPerOutputOrder(t *testing.T) {
+	prop := func(dests []uint8) bool {
+		const n = 4
+		p := New(0, n)
+		want := make([][]uint64, n)
+		for i, d := range dests {
+			out := cell.Port(d % n)
+			if err := p.Enqueue(mk(uint64(i), out)); err != nil {
+				return false
+			}
+			want[out] = append(want[out], uint64(i))
+		}
+		for j := 0; j < n; j++ {
+			for _, w := range want[j] {
+				if c := p.Pop(cell.Port(j)); c.Seq != w {
+					return false
+				}
+			}
+			if p.QueueLen(cell.Port(j)) != 0 {
+				return false
+			}
+		}
+		return p.Backlog() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

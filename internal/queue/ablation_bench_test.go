@@ -1,0 +1,43 @@
+package queue
+
+import "testing"
+
+// naiveQueue is the slice-append FIFO the ring buffer replaces; kept here
+// for the DESIGN.md §5 ablation (BenchmarkAblationQueueImpl).
+type naiveQueue[T any] struct{ s []T }
+
+func (q *naiveQueue[T]) Push(v T) { q.s = append(q.s, v) }
+func (q *naiveQueue[T]) Pop() T {
+	v := q.s[0]
+	q.s = q.s[1:]
+	return v
+}
+func (q *naiveQueue[T]) Len() int { return len(q.s) }
+
+// The workload mirrors a plane queue under load: bursts of pushes drained
+// with interleaved pops, keeping a standing backlog so the ring wraps.
+func BenchmarkAblationQueueImpl(b *testing.B) {
+	const backlog = 64
+	b.Run("ring", func(b *testing.B) {
+		q := New[int](8)
+		for i := 0; i < backlog; i++ {
+			q.Push(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			q.Pop()
+		}
+	})
+	b.Run("slice-append", func(b *testing.B) {
+		var q naiveQueue[int]
+		for i := 0; i < backlog; i++ {
+			q.Push(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			q.Pop()
+		}
+	})
+}

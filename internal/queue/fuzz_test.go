@@ -1,0 +1,62 @@
+package queue
+
+import "testing"
+
+// FuzzFIFOAgainstModel drives the ring buffer with an arbitrary op stream
+// and compares against a plain slice model: byte values select push (even)
+// or pop/removeAt (odd), with the payload derived from the position.
+func FuzzFIFOAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 2, 1, 4, 3})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 7, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		q := New[int](0)
+		var model []int
+		for i, op := range ops {
+			switch {
+			case op%2 == 0: // push
+				q.Push(i)
+				model = append(model, i)
+			case len(model) == 0:
+				// nothing to pop; verify emptiness is consistent
+				if !q.Empty() {
+					t.Fatal("queue should be empty")
+				}
+			case op%4 == 1: // pop head
+				want := model[0]
+				model = model[1:]
+				if got := q.Pop(); got != want {
+					t.Fatalf("Pop = %d, want %d", got, want)
+				}
+			default: // remove at arbitrary index
+				idx := int(op) % len(model)
+				want := model[idx]
+				model = append(model[:idx], model[idx+1:]...)
+				if got := q.RemoveAt(idx); got != want {
+					t.Fatalf("RemoveAt(%d) = %d, want %d", idx, got, want)
+				}
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", q.Len(), len(model))
+			}
+			if len(model) > 0 {
+				if q.Peek() != model[0] {
+					t.Fatalf("Peek = %d, model head %d", q.Peek(), model[0])
+				}
+				mid := len(model) / 2
+				if q.At(mid) != model[mid] {
+					t.Fatalf("At(%d) = %d, model %d", mid, q.At(mid), model[mid])
+				}
+			}
+		}
+		snap := q.Snapshot()
+		if len(snap) != len(model) {
+			t.Fatalf("Snapshot len %d, model %d", len(snap), len(model))
+		}
+		for i := range model {
+			if snap[i] != model[i] {
+				t.Fatalf("Snapshot[%d] = %d, model %d", i, snap[i], model[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var q FIFO[int]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	q.Push(1)
+	q.Push(2)
+	if q.Pop() != 1 || q.Pop() != 2 {
+		t.Error("FIFO order violated on zero value")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop #%d = %d", i, got)
+		}
+	}
+	if !q.Empty() {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](8)
+	// Interleave pushes and pops so head wraps repeatedly.
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 5; i++ {
+			q.Push(round*5 + i)
+		}
+		for i := 0; i < 5; i++ {
+			if got := q.Pop(); got != next {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestPeekAndAt(t *testing.T) {
+	q := New[string](2)
+	q.Push("a")
+	q.Push("b")
+	q.Push("c")
+	if q.Peek() != "a" {
+		t.Errorf("Peek = %q", q.Peek())
+	}
+	if q.At(0) != "a" || q.At(1) != "b" || q.At(2) != "c" {
+		t.Error("At returned wrong elements")
+	}
+	if q.Len() != 3 {
+		t.Error("Peek/At must not consume")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 6; i++ {
+		q.Pop()
+	}
+	for i := 10; i < 14; i++ {
+		q.Push(i) // forces wrap in the size-16 buffer? ensure mixed state
+	}
+	snap := q.Snapshot()
+	want := []int{6, 7, 8, 9, 10, 11, 12, 13}
+	if len(snap) != len(want) {
+		t.Fatalf("Snapshot len = %d, want %d", len(snap), len(want))
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("Snapshot[%d] = %d, want %d", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	if got := q.RemoveAt(2); got != 2 {
+		t.Fatalf("RemoveAt(2) = %d", got)
+	}
+	want := []int{0, 1, 3, 4}
+	for i, w := range want {
+		if got := q.Pop(); got != w {
+			t.Errorf("after RemoveAt, Pop #%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRemoveAtHeadAndTail(t *testing.T) {
+	q := New[int](2)
+	q.Push(10)
+	q.Push(11)
+	q.Push(12)
+	if q.RemoveAt(0) != 10 {
+		t.Error("RemoveAt head")
+	}
+	if q.RemoveAt(q.Len()-1) != 12 {
+		t.Error("RemoveAt tail")
+	}
+	if q.Pop() != 11 || !q.Empty() {
+		t.Error("remaining element wrong")
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := New[int](2)
+	for i := 0; i < 20; i++ {
+		q.Push(i)
+	}
+	q.Reset()
+	if !q.Empty() {
+		t.Error("Reset should empty the queue")
+	}
+	q.Push(99)
+	if q.Pop() != 99 {
+		t.Error("queue unusable after Reset")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var q FIFO[int]
+	q.Pop()
+}
+
+func TestPeekEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var q FIFO[int]
+	q.Peek()
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	q := New[int](2)
+	q.Push(1)
+	q.At(1)
+}
+
+// Property: for any sequence of push/pop operations, the FIFO behaves
+// exactly like an ideal slice-based queue.
+func TestFIFOMatchesModel(t *testing.T) {
+	prop := func(ops []int16) bool {
+		q := New[int16](0)
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Push(op)
+				model = append(model, op)
+			} else if len(model) > 0 {
+				want := model[0]
+				model = model[1:]
+				if q.Pop() != want {
+					return false
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			if len(model) > 0 && q.Peek() != model[0] {
+				return false
+			}
+		}
+		// Drain and compare the remainder.
+		for _, want := range model {
+			if q.Pop() != want {
+				return false
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RemoveAt(i) behaves like deleting index i from a slice model.
+func TestRemoveAtMatchesModel(t *testing.T) {
+	prop := func(vals []int8, removals []uint8) bool {
+		q := New[int8](0)
+		model := make([]int8, 0, len(vals))
+		for _, v := range vals {
+			q.Push(v)
+			model = append(model, v)
+		}
+		for _, r := range removals {
+			if len(model) == 0 {
+				break
+			}
+			i := int(r) % len(model)
+			got := q.RemoveAt(i)
+			want := model[i]
+			model = append(model[:i], model[i+1:]...)
+			if got != want || q.Len() != len(model) {
+				return false
+			}
+		}
+		for _, want := range model {
+			if q.Pop() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int](16)
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if i%2 == 1 {
+			q.Pop()
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package shadow
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/queue"
+)
+
+// Shaped is a NON-work-conserving reference switch: a jitter-shaping
+// output-queued switch that holds every cell for exactly D slots (subject
+// to output serialization), deliberately idling while cells wait.
+//
+// The paper's Discussion explains why such switches make poor references
+// for relative queuing delay: "a non-work-conserving reference switch can
+// degrade to work at rate r, making the comparison meaningless" — once the
+// reference itself delays everything by D, any PPS whose excess is under D
+// measures a non-positive relative delay regardless of its dispatching
+// quality. Experiment E26 demonstrates exactly that collapse.
+type Shaped struct {
+	n      int
+	d      cell.Time
+	queues []queue.FIFO[cell.Cell]
+	// nextFree[j] is the earliest slot output j may emit (serialization).
+	nextFree []cell.Time
+	arrived  uint64
+	departed uint64
+	lastSlot cell.Time
+}
+
+// NewShaped returns an n x n delay-equalizing switch with target delay
+// d >= 0 per cell.
+func NewShaped(n int, d cell.Time) (*Shaped, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shadow: invalid port count %d", n)
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("shadow: shaping delay must be >= 0, got %d", d)
+	}
+	return &Shaped{
+		n:        n,
+		d:        d,
+		queues:   make([]queue.FIFO[cell.Cell], n),
+		nextFree: make([]cell.Time, n),
+		lastSlot: -1,
+	}, nil
+}
+
+// Ports returns N.
+func (s *Shaped) Ports() int { return s.n }
+
+// TargetDelay returns D.
+func (s *Shaped) TargetDelay() cell.Time { return s.d }
+
+// Step advances one slot: arrivals enqueue, and each output emits its head
+// cell once the cell has aged D slots (one cell per output per slot).
+func (s *Shaped) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) []cell.Cell {
+	if t <= s.lastSlot {
+		panic(fmt.Sprintf("shadow: non-monotone slot %d after %d", t, s.lastSlot))
+	}
+	s.lastSlot = t
+	for _, c := range arrivals {
+		if c.Arrive != t {
+			panic(fmt.Sprintf("shadow: cell %v presented at slot %d", c, t))
+		}
+		s.queues[c.Flow.Out].Push(c)
+		s.arrived++
+	}
+	for j := range s.queues {
+		if s.queues[j].Empty() {
+			continue
+		}
+		head := s.queues[j].Peek()
+		if t-head.Arrive < s.d {
+			continue // deliberately idle: non-work-conserving
+		}
+		c := s.queues[j].Pop()
+		c.Depart = t
+		dst = append(dst, c)
+		s.departed++
+	}
+	return dst
+}
+
+// Drained reports whether all cells departed.
+func (s *Shaped) Drained() bool { return s.arrived == s.departed }
+
+// Backlog reports queued cells.
+func (s *Shaped) Backlog() int { return int(s.arrived - s.departed) }

@@ -1,0 +1,123 @@
+// Package timing models the rate-limited internal lines of the PPS.
+//
+// Section 2 of the paper: "A cell sent from an input-port i to a plane k is
+// transmitted over r' time-slots; transmission takes place in the first
+// time-slot of this period, and then the line between i and k is not
+// utilized in the next r'-1 time-slots." Violating this is the *input
+// constraint*; the *output constraint* is the symmetric rule for the lines
+// between planes and output-ports.
+//
+// A Gate tracks one such line; a Matrix tracks the full N x K (or K x N)
+// bank of lines on one side of the center stage.
+package timing
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+)
+
+// Gate is one internal line running at rate r = R/holdSlots. Seizing the
+// gate at slot t makes it busy for slots t .. t+holdSlots-1.
+type Gate struct {
+	holdSlots int64
+	freeAt    cell.Time // first slot at which the gate may be seized again
+}
+
+// NewGate returns a gate that is busy for hold slots per transmission.
+// It panics if hold < 1.
+func NewGate(hold int64) *Gate {
+	g := &Gate{}
+	g.Init(hold)
+	return g
+}
+
+// Init (re)initializes the gate in place; used by Matrix to lay gates out
+// contiguously. It panics if hold < 1.
+func (g *Gate) Init(hold int64) {
+	if hold < 1 {
+		panic("timing: gate hold must be >= 1 slot")
+	}
+	g.holdSlots = hold
+	g.freeAt = 0
+}
+
+// Free reports whether the gate may be seized at slot t.
+func (g *Gate) Free(t cell.Time) bool { return t >= g.freeAt }
+
+// FreeAt returns the earliest slot at which the gate may be seized.
+func (g *Gate) FreeAt() cell.Time { return g.freeAt }
+
+// Hold returns the per-transmission occupancy r' in slots.
+func (g *Gate) Hold() int64 { return g.holdSlots }
+
+// Seize marks the gate busy starting at slot t. It returns an error if the
+// gate is not free at t — the caller (the fabric) treats that as a rate
+// constraint violation by the algorithm under test.
+func (g *Gate) Seize(t cell.Time) error {
+	if !g.Free(t) {
+		return fmt.Errorf("timing: gate seized at slot %d but busy until %d", t, g.freeAt)
+	}
+	g.freeAt = t + cell.Time(g.holdSlots)
+	return nil
+}
+
+// Matrix is a dense rows x cols bank of gates, all with the same hold time.
+// For the input side rows index input-ports and cols index planes; for the
+// output side rows index planes and cols index output-ports.
+type Matrix struct {
+	rows, cols int
+	gates      []Gate
+}
+
+// NewMatrix returns a rows x cols matrix of gates with the given hold.
+// It panics on non-positive dimensions.
+func NewMatrix(rows, cols int, hold int64) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("timing: matrix dimensions must be positive")
+	}
+	m := &Matrix{rows: rows, cols: cols, gates: make([]Gate, rows*cols)}
+	for i := range m.gates {
+		m.gates[i].Init(hold)
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Gate returns the gate at (row, col).
+func (m *Matrix) Gate(row, col int) *Gate {
+	if row < 0 || row >= m.rows || col < 0 || col >= m.cols {
+		panic(fmt.Sprintf("timing: gate (%d,%d) out of %dx%d matrix", row, col, m.rows, m.cols))
+	}
+	return &m.gates[row*m.cols+col]
+}
+
+// FreeCols returns the columns whose gate in the given row is free at t,
+// appended to dst (which may be nil). Demultiplexors use this to enumerate
+// the planes an input may legally dispatch to this slot.
+func (m *Matrix) FreeCols(row int, t cell.Time, dst []int) []int {
+	base := row * m.cols
+	for c := 0; c < m.cols; c++ {
+		if m.gates[base+c].Free(t) {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// CountFreeCols reports how many gates in the row are free at t.
+func (m *Matrix) CountFreeCols(row int, t cell.Time) int {
+	n := 0
+	base := row * m.cols
+	for c := 0; c < m.cols; c++ {
+		if m.gates[base+c].Free(t) {
+			n++
+		}
+	}
+	return n
+}

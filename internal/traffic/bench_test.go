@@ -1,0 +1,57 @@
+package traffic
+
+import (
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func BenchmarkBernoulliArrivals(b *testing.B) {
+	src := NewBernoulli(64, 0.7, cell.None, 1)
+	var buf []Arrival
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = src.Arrivals(cell.Time(i), buf[:0])
+	}
+}
+
+func BenchmarkRegulatorArrivals(b *testing.B) {
+	src := NewRegulator(64, 4, NewBernoulli(64, 0.9, cell.None, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Arrivals(cell.Time(i), nil)
+	}
+}
+
+func BenchmarkValidatorObserve(b *testing.B) {
+	src := NewBernoulli(64, 0.8, cell.None, 1)
+	v := NewValidator(64)
+	var buf []Arrival
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = src.Arrivals(cell.Time(i), buf[:0])
+		if err := v.Observe(cell.Time(i), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBvNArrivals(b *testing.B) {
+	const n = 16
+	lambda := make([][]float64, n)
+	for i := range lambda {
+		lambda[i] = make([]float64, n)
+		for j := range lambda[i] {
+			lambda[i][j] = 0.9 / n
+		}
+	}
+	src, err := NewBvN(lambda, cell.None, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []Arrival
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = src.Arrivals(cell.Time(i), buf[:0])
+	}
+}

@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func TestBvNRatesConverge(t *testing.T) {
+	lambda := [][]float64{
+		{0.5, 0.25, 0},
+		{0.25, 0.5, 0.25},
+		{0, 0.25, 0.5},
+	}
+	const slots = 20000
+	src, err := NewBvN(lambda, slots, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([][]int, 3)
+	for i := range counts {
+		counts[i] = make([]int, 3)
+	}
+	var buf []Arrival
+	for s := cell.Time(0); s < slots; s++ {
+		buf = src.Arrivals(s, buf[:0])
+		for _, a := range buf {
+			counts[a.In][a.Out]++
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			got := float64(counts[i][j]) / slots
+			if math.Abs(got-lambda[i][j]) > 0.01 {
+				t.Errorf("flow (%d,%d) rate %f, want %f", i, j, got, lambda[i][j])
+			}
+		}
+	}
+}
+
+func TestBvNIsAdmissibleAndSmooth(t *testing.T) {
+	lambda := [][]float64{
+		{0.4, 0.3},
+		{0.3, 0.4},
+	}
+	const slots = 5000
+	src, err := NewBvN(lambda, slots, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(2)
+	var buf []Arrival
+	for s := cell.Time(0); s < slots; s++ {
+		buf = src.Arrivals(s, buf[:0])
+		if err := v.Observe(s, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burstiness bounded by ~the decomposition size.
+	bound := int64(src.Permutations() + 2)
+	if v.Burstiness() > bound {
+		t.Errorf("burstiness %d exceeds decomposition-size bound %d", v.Burstiness(), bound)
+	}
+}
+
+func TestBvNDeterministic(t *testing.T) {
+	lambda := [][]float64{{0.6, 0.2}, {0.2, 0.6}}
+	run := func() []Arrival {
+		src, err := NewBvN(lambda, 200, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []Arrival
+		for s := cell.Time(0); s < 200; s++ {
+			all = src.Arrivals(s, all)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic arrivals")
+		}
+	}
+}
+
+func TestBvNRejectsInadmissible(t *testing.T) {
+	if _, err := NewBvN([][]float64{{1.5}}, 10, 0); err == nil {
+		t.Error("rate > 1 must be rejected")
+	}
+}
+
+func TestBvNMonotoneSlots(t *testing.T) {
+	src, err := NewBvN([][]float64{{0.5}}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Arrivals(0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on repeated slot")
+		}
+	}()
+	src.Arrivals(0, nil)
+}
+
+func TestBvNThroughPPSSmoke(t *testing.T) {
+	// Diagonal-heavy admissible matrix through the validator end-to-end;
+	// also checks the End() contract.
+	lambda := make([][]float64, 4)
+	for i := range lambda {
+		lambda[i] = make([]float64, 4)
+		for j := range lambda[i] {
+			if i == j {
+				lambda[i][j] = 0.55
+			} else {
+				lambda[i][j] = 0.10
+			}
+		}
+	}
+	src, err := NewBvN(lambda, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.End() != 300 {
+		t.Errorf("End = %d", src.End())
+	}
+	total := 0
+	var buf []Arrival
+	for s := cell.Time(0); s < 310; s++ {
+		buf = src.Arrivals(s, buf[:0])
+		total += len(buf)
+	}
+	// Expected ~ (0.55 + 0.3) * 4 * 300 = 1020 cells.
+	if total < 900 || total > 1100 {
+		t.Errorf("total cells %d, want ~1020", total)
+	}
+}

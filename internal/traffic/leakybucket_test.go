@@ -1,0 +1,298 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppsim/internal/cell"
+)
+
+func TestValidatorSingleCellIsBurstless(t *testing.T) {
+	v := NewValidator(4)
+	if err := v.Observe(0, []Arrival{{In: 0, Out: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Burstiness() != 0 {
+		t.Errorf("single cell burstiness = %d, want 0", v.Burstiness())
+	}
+}
+
+func TestValidatorRateTrafficIsBurstless(t *testing.T) {
+	// One cell per slot to the same output from rotating inputs: rate
+	// exactly R with no burst (the Theorem 6 ending pattern).
+	v := NewValidator(4)
+	for s := cell.Time(0); s < 20; s++ {
+		if err := v.Observe(s, []Arrival{{In: cell.Port(s % 4), Out: 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Burstiness() != 0 {
+		t.Errorf("rate-R traffic burstiness = %d, want 0", v.Burstiness())
+	}
+}
+
+func TestValidatorBurstMeasured(t *testing.T) {
+	// Three cells for one output in one slot: windows of length 1 contain
+	// 3 cells, so B = 2.
+	v := NewValidator(4)
+	err := v.Observe(0, []Arrival{{In: 0, Out: 2}, {In: 1, Out: 2}, {In: 3, Out: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Burstiness() != 2 {
+		t.Errorf("burstiness = %d, want 2", v.Burstiness())
+	}
+	if v.OutputBurstiness() != 2 || v.InputBurstiness() != 0 {
+		t.Errorf("in/out = %d/%d, want 0/2", v.InputBurstiness(), v.OutputBurstiness())
+	}
+}
+
+func TestValidatorSilentGapDrains(t *testing.T) {
+	v := NewValidator(2)
+	v.Observe(0, []Arrival{{In: 0, Out: 0}, {In: 1, Out: 0}}) // B=1 so far
+	// Long silence: queue drains fully.
+	v.Observe(100, []Arrival{{In: 0, Out: 0}, {In: 1, Out: 0}})
+	if v.Burstiness() != 1 {
+		t.Errorf("burstiness = %d, want 1 (bursts separated by silence)", v.Burstiness())
+	}
+}
+
+func TestValidatorBackToBackBurstsAccumulate(t *testing.T) {
+	v := NewValidator(4)
+	// Two consecutive slots with 3 cells each to output 0: window tau=2
+	// holds 6 cells, excess 4.
+	for s := cell.Time(0); s < 2; s++ {
+		v.Observe(s, []Arrival{{In: 0, Out: 0}, {In: 1, Out: 0}, {In: 2, Out: 0}})
+	}
+	if v.Burstiness() != 4 {
+		t.Errorf("burstiness = %d, want 4", v.Burstiness())
+	}
+}
+
+func TestValidatorRejectsNonmonotoneSlots(t *testing.T) {
+	v := NewValidator(2)
+	v.Observe(5, nil)
+	if err := v.Observe(5, nil); err == nil {
+		t.Error("repeated slot must error")
+	}
+	if err := v.Observe(3, nil); err == nil {
+		t.Error("backwards slot must error")
+	}
+}
+
+func TestValidatorRejectsOutOfRange(t *testing.T) {
+	v := NewValidator(2)
+	if err := v.Observe(0, []Arrival{{In: 5, Out: 0}}); err == nil {
+		t.Error("out-of-range input must error")
+	}
+}
+
+func TestMeasureSource(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 5; i++ {
+		tr.MustAdd(0, cell.Port(i), 0)
+	}
+	b, err := MeasureSource(5, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 4 {
+		t.Errorf("measured B = %d, want 4", b)
+	}
+	if _, err := MeasureSource(2, &Flood{N: 2, Out: 0, Until: cell.None}); err == nil {
+		t.Error("unbounded source must error")
+	}
+}
+
+func TestWindowBurstinessGrowsForFlood(t *testing.T) {
+	// Proposition 15's signature: for flooding traffic the window excess
+	// grows linearly with the window, so no fixed B can bound it.
+	f := &Flood{N: 4, Out: 0, Until: 100}
+	var prev int64 = -1
+	for _, tau := range []cell.Time{1, 5, 10, 50} {
+		got, err := WindowBurstiness(4, f, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(tau)*4 - int64(tau) // N cells/slot for tau slots minus tau*R
+		if got != want {
+			t.Errorf("tau=%d: excess = %d, want %d", tau, got, want)
+		}
+		if got <= prev {
+			t.Errorf("excess must grow with tau: %d then %d", prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestWindowBurstinessBoundedForLeakyBucket(t *testing.T) {
+	// For conformant traffic the excess is bounded by B for every tau.
+	tr := NewTrace()
+	for s := cell.Time(0); s < 50; s++ {
+		tr.MustAdd(s, cell.Port(s%3), 0) // rate R, B=0
+	}
+	for _, tau := range []cell.Time{1, 7, 25, 50} {
+		got, err := WindowBurstiness(3, tr, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Errorf("tau=%d: excess = %d, want 0", tau, got)
+		}
+	}
+	if _, err := WindowBurstiness(3, tr, 0); err == nil {
+		t.Error("tau=0 must error")
+	}
+}
+
+func TestRegulatorShapesFlood(t *testing.T) {
+	const n = 4
+	f := &Flood{N: n, Out: 0, Until: 10} // 40 cells to output 0
+	reg := NewRegulator(n, 2, f)
+	v := NewValidator(n)
+	released := 0
+	var buf []Arrival
+	for s := cell.Time(0); s < 200 && released < 40; s++ {
+		buf = reg.Arrivals(s, nil)
+		if err := v.Observe(s, buf); err != nil {
+			t.Fatal(err)
+		}
+		released += len(buf)
+	}
+	if released != 40 {
+		t.Fatalf("regulator lost cells: released %d of 40", released)
+	}
+	if v.Burstiness() > 2 {
+		t.Errorf("regulated burstiness = %d, want <= 2", v.Burstiness())
+	}
+	if reg.Backlog() != 0 {
+		t.Errorf("backlog = %d after drain", reg.Backlog())
+	}
+	if reg.End() == cell.None {
+		t.Error("drained regulator over bounded source should report an end")
+	}
+}
+
+func TestRegulatorPreservesFlowOrder(t *testing.T) {
+	tr := NewTrace()
+	// Input 0 sends to outputs 0,1,0,1,... while output 0 is congested by
+	// other inputs; head-of-line blocking must keep input 0's cells in order.
+	for s := cell.Time(0); s < 8; s++ {
+		tr.MustAdd(s, 0, cell.Port(s%2))
+		tr.MustAdd(s, 1, 0)
+		tr.MustAdd(s, 2, 0)
+	}
+	reg := NewRegulator(3, 0, tr)
+	var order []cell.Port
+	var buf []Arrival
+	for s := cell.Time(0); s < 100; s++ {
+		buf = reg.Arrivals(s, buf[:0])
+		for _, a := range buf {
+			if a.In == 0 {
+				order = append(order, a.Out)
+			}
+		}
+		if reg.Backlog() == 0 && s > 8 {
+			break
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("input 0 released %d cells, want 8", len(order))
+	}
+	for i, out := range order {
+		if out != cell.Port(i%2) {
+			t.Fatalf("flow order broken at %d: %v", i, order)
+		}
+	}
+}
+
+// Property: the regulator's output always validates as (R=1, B) for random
+// bursty demand.
+func TestRegulatorAlwaysConformant(t *testing.T) {
+	prop := func(seed int64, bRaw uint8) bool {
+		b := int64(bRaw % 8)
+		const n = 4
+		demand, err := NewOnOff(n, 6, 2, 60, seed)
+		if err != nil {
+			return false
+		}
+		reg := NewRegulator(n, b, demand)
+		v := NewValidator(n)
+		var buf []Arrival
+		for s := cell.Time(0); s < 600; s++ {
+			buf = reg.Arrivals(s, nil)
+			if err := v.Observe(s, buf); err != nil {
+				return false
+			}
+			if s > 60 && reg.Backlog() == 0 {
+				break
+			}
+		}
+		return v.Burstiness() <= b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MeasureSource of a Trace equals the brute-force window scan
+// maximum over all window lengths.
+func TestValidatorMatchesBruteForce(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		const n = 4
+		tr := NewTrace()
+		for k, r := range raw {
+			if k > 60 {
+				break
+			}
+			slot := cell.Time(r % 16)
+			in := cell.Port(int(r/16) % n)
+			out := cell.Port(int(r/64) % n)
+			tr.Add(slot, in, out) // collisions ignored
+		}
+		if tr.End() == 0 {
+			return true
+		}
+		got, err := MeasureSource(n, tr)
+		if err != nil {
+			return false
+		}
+		// Brute force over every (port, window) pair.
+		end := tr.End()
+		var want int64
+		var buf []Arrival
+		inCount := make([][]int64, n)
+		outCount := make([][]int64, n)
+		for p := 0; p < n; p++ {
+			inCount[p] = make([]int64, end)
+			outCount[p] = make([]int64, end)
+		}
+		for s := cell.Time(0); s < end; s++ {
+			buf = tr.Arrivals(s, buf[:0])
+			for _, a := range buf {
+				inCount[a.In][s]++
+				outCount[a.Out][s]++
+			}
+		}
+		for p := 0; p < n; p++ {
+			for t1 := cell.Time(0); t1 < end; t1++ {
+				var ci, co int64
+				for t2 := t1; t2 < end; t2++ {
+					ci += inCount[p][t2]
+					co += outCount[p][t2]
+					tau := int64(t2 - t1 + 1)
+					if ex := ci - tau; ex > want {
+						want = ex
+					}
+					if ex := co - tau; ex > want {
+						want = ex
+					}
+				}
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

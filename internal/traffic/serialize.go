@@ -1,0 +1,76 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ppsim/internal/cell"
+)
+
+// record is the portable on-disk form of one arrival.
+type record struct {
+	T   int64 `json:"t"`
+	In  int32 `json:"in"`
+	Out int32 `json:"out"`
+}
+
+// MarshalJSON encodes the trace as a canonical (slot-major, then
+// input-major) array of {t, in, out} records, so two equal traces encode
+// byte-identically.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	recs := make([]record, 0, tr.Count())
+	var buf []Arrival
+	for t := cell.Time(0); t < tr.End(); t++ {
+		buf = tr.Arrivals(t, buf[:0])
+		for _, a := range buf {
+			recs = append(recs, record{T: int64(t), In: int32(a.In), Out: int32(a.Out)})
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].T != recs[j].T {
+			return recs[i].T < recs[j].T
+		}
+		return recs[i].In < recs[j].In
+	})
+	return json.Marshal(recs)
+}
+
+// UnmarshalJSON decodes a record array into the trace, replacing its
+// contents. It rejects malformed schedules (negative slots, two arrivals
+// on one input in a slot).
+func (tr *Trace) UnmarshalJSON(data []byte) error {
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("traffic: decoding trace: %w", err)
+	}
+	fresh := NewTrace()
+	for i, r := range recs {
+		if err := fresh.Add(cell.Time(r.T), cell.Port(r.In), cell.Port(r.Out)); err != nil {
+			return fmt.Errorf("traffic: record %d: %w", i, err)
+		}
+	}
+	*tr = *fresh
+	return nil
+}
+
+// Equal reports whether two traces schedule exactly the same arrivals.
+func (tr *Trace) Equal(other *Trace) bool {
+	if tr.End() != other.End() || tr.Count() != other.Count() {
+		return false
+	}
+	var a, b []Arrival
+	for t := cell.Time(0); t < tr.End(); t++ {
+		a = tr.Arrivals(t, a[:0])
+		b = other.Arrivals(t, b[:0])
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"ppsim/internal/cell"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.MustAdd(0, 2, 1)
+	tr.MustAdd(0, 0, 3)
+	tr.MustAdd(7, 1, 1)
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(&back) {
+		t.Error("round-trip lost arrivals")
+	}
+}
+
+func TestTraceJSONCanonical(t *testing.T) {
+	// Same arrivals added in different orders encode identically.
+	a := NewTrace()
+	a.MustAdd(1, 0, 0)
+	a.MustAdd(0, 2, 1)
+	a.MustAdd(0, 1, 2)
+	b := NewTrace()
+	b.MustAdd(0, 1, 2)
+	b.MustAdd(1, 0, 0)
+	b.MustAdd(0, 2, 1)
+	da, _ := json.Marshal(a)
+	db, _ := json.Marshal(b)
+	if !bytes.Equal(da, db) {
+		t.Errorf("canonical encoding differs:\n%s\n%s", da, db)
+	}
+}
+
+func TestTraceJSONRejectsMalformed(t *testing.T) {
+	var tr Trace
+	if err := json.Unmarshal([]byte(`[{"t":-1,"in":0,"out":0}]`), &tr); err == nil {
+		t.Error("negative slot must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`[{"t":0,"in":0,"out":0},{"t":0,"in":0,"out":1}]`), &tr); err == nil {
+		t.Error("duplicate input per slot must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"not":"an array"}`), &tr); err == nil {
+		t.Error("wrong shape must be rejected")
+	}
+}
+
+func TestTraceEqual(t *testing.T) {
+	a := NewTrace()
+	a.MustAdd(0, 0, 1)
+	b := NewTrace()
+	b.MustAdd(0, 0, 1)
+	if !a.Equal(b) {
+		t.Error("identical traces must be Equal")
+	}
+	b.MustAdd(1, 0, 2)
+	if a.Equal(b) {
+		t.Error("different counts must differ")
+	}
+	c := NewTrace()
+	c.MustAdd(0, 0, 2)
+	if a.Equal(c) {
+		t.Error("different destinations must differ")
+	}
+}
+
+// Property: round-trip preserves any valid trace.
+func TestTraceRoundTripProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		tr := NewTrace()
+		for _, r := range raw {
+			tr.Add(cell.Time(r%64), cell.Port(int(r/64)%8), cell.Port(int(r/512)%8))
+		}
+		data, err := json.Marshal(tr)
+		if err != nil {
+			return false
+		}
+		var back Trace
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return tr.Equal(&back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package traffic generates and validates the cell arrival processes used by
+// the experiments.
+//
+// The paper restricts all lower-bound traffics to the (R, B) leaky-bucket
+// model (Definition 3): in every time interval of length tau, the number of
+// cells arriving to the switch that share an input-port or an output-port is
+// at most tau*R + B, where B is a fixed burstiness factor. With the paper's
+// normalization R = 1 cell/slot, conformance is equivalent to a virtual
+// queue fed by the arrivals and served at one cell per slot never exceeding
+// a backlog of B (Cruz's calculus); Validator implements exactly that test,
+// and Regulator shapes arbitrary demand into a conformant stream.
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"ppsim/internal/cell"
+)
+
+// Arrival is one cell arrival event: a cell for output Out appears at input
+// In at the slot under consideration.
+type Arrival struct {
+	In  cell.Port
+	Out cell.Port
+}
+
+// Source produces the arrival process. Implementations must be
+// deterministic given their construction parameters (randomized sources take
+// explicit seeds), so that the PPS and the shadow switch can replay the same
+// stream.
+type Source interface {
+	// Arrivals appends the arrivals of slot t to dst and returns the
+	// extended slice. A source must emit at most one arrival per
+	// input-port per slot (at most one cell arrives per input per slot).
+	Arrivals(t cell.Time, dst []Arrival) []Arrival
+
+	// End returns the first slot at and after which the source is
+	// permanently silent, or cell.None when the source is unbounded.
+	End() cell.Time
+}
+
+// Trace is a finite, explicit arrival schedule. It is the workhorse of the
+// adversarial constructions: each lower-bound proof is realized by building
+// a Trace slot by slot.
+type Trace struct {
+	slots map[cell.Time][]Arrival
+	end   cell.Time // one past the last populated slot
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{slots: make(map[cell.Time][]Arrival)}
+}
+
+// Add schedules one arrival at slot t. It returns an error if the input-port
+// already has an arrival at t (at most one cell per input per slot).
+func (tr *Trace) Add(t cell.Time, in, out cell.Port) error {
+	if t < 0 {
+		return fmt.Errorf("traffic: arrival at negative slot %d", t)
+	}
+	for _, a := range tr.slots[t] {
+		if a.In == in {
+			return fmt.Errorf("traffic: input %d already has an arrival at slot %d", in, t)
+		}
+	}
+	tr.slots[t] = append(tr.slots[t], Arrival{In: in, Out: out})
+	if t+1 > tr.end {
+		tr.end = t + 1
+	}
+	return nil
+}
+
+// MustAdd is Add but panics on error; for use by constructions that manage
+// slots themselves and treat a collision as a bug.
+func (tr *Trace) MustAdd(t cell.Time, in, out cell.Port) {
+	if err := tr.Add(t, in, out); err != nil {
+		panic(err)
+	}
+}
+
+// Arrivals implements Source.
+func (tr *Trace) Arrivals(t cell.Time, dst []Arrival) []Arrival {
+	as := tr.slots[t]
+	// Deterministic order: by input port.
+	if len(as) > 1 && !sort.SliceIsSorted(as, func(i, j int) bool { return as[i].In < as[j].In }) {
+		sort.Slice(as, func(i, j int) bool { return as[i].In < as[j].In })
+	}
+	return append(dst, as...)
+}
+
+// End implements Source.
+func (tr *Trace) End() cell.Time { return tr.end }
+
+// Count reports the total number of scheduled arrivals.
+func (tr *Trace) Count() int {
+	n := 0
+	for _, as := range tr.slots {
+		n += len(as)
+	}
+	return n
+}
+
+// Shift returns a copy of the trace with every arrival delayed by d slots.
+func (tr *Trace) Shift(d cell.Time) *Trace {
+	out := NewTrace()
+	for t, as := range tr.slots {
+		for _, a := range as {
+			out.MustAdd(t+d, a.In, a.Out)
+		}
+	}
+	return out
+}
+
+// Append merges other into tr, delaying other's arrivals by offset slots.
+// It returns an error on any per-input per-slot collision.
+func (tr *Trace) Append(other *Trace, offset cell.Time) error {
+	for t, as := range other.slots {
+		for _, a := range as {
+			if err := tr.Add(t+offset, a.In, a.Out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Concat is a sequential composition of sources: each source is replayed in
+// order, the next starting when the previous one ends plus its gap. All
+// sources must be finite. This realizes the proof technique of Theorem 6
+// ("LB, a sequential composition of the traffics A_i").
+type Concat struct {
+	trace *Trace
+}
+
+// NewConcat flattens the given (source, gap) pairs into a single trace.
+// It returns an error if any source is unbounded or arrivals collide.
+func NewConcat(parts ...Part) (*Concat, error) {
+	out := NewTrace()
+	var at cell.Time
+	for i, p := range parts {
+		end := p.Source.End()
+		if end == cell.None {
+			return nil, fmt.Errorf("traffic: part %d is unbounded", i)
+		}
+		var buf []Arrival
+		for t := cell.Time(0); t < end; t++ {
+			buf = p.Source.Arrivals(t, buf[:0])
+			for _, a := range buf {
+				if err := out.Add(at+t, a.In, a.Out); err != nil {
+					return nil, err
+				}
+			}
+		}
+		at += end + p.GapAfter
+	}
+	return &Concat{trace: out}, nil
+}
+
+// Part is one stage of a Concat: a finite source followed by GapAfter idle
+// slots.
+type Part struct {
+	Source   Source
+	GapAfter cell.Time
+}
+
+// Arrivals implements Source.
+func (c *Concat) Arrivals(t cell.Time, dst []Arrival) []Arrival {
+	return c.trace.Arrivals(t, dst)
+}
+
+// End implements Source.
+func (c *Concat) End() cell.Time { return c.trace.End() }

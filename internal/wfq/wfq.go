@@ -1,0 +1,160 @@
+// Package wfq implements weighted fair queueing, the canonical
+// guaranteed-rate service discipline behind the QoS framing of the paper's
+// introduction ("The need to support a large variety of applications with
+// quality of service (QoS) guarantees...", citing Zhang's survey of service
+// disciplines). It is the discipline a QoS-aware deployment would run at
+// the external output links downstream of the switch: the PPS delivers
+// cells to the output, and WFQ decides which flow's cell uses the line.
+//
+// The implementation is the standard virtual-time approximation of
+// generalized processor sharing (PGPS): each backlogged flow f with weight
+// w_f receives service at rate w_f / sum of backlogged weights; a cell of
+// length 1 arriving to flow f is stamped with a virtual finish time
+// F = max(V(now), F_prev) + 1/w_f, and cells are served in increasing
+// finish-time order. Per-flow delay is then bounded independently of the
+// other flows' arrival behaviour — the isolation property experiment E27
+// contrasts with FCFS.
+package wfq
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/queue"
+)
+
+// Scheduler is a single-server WFQ over a fixed set of flows.
+type Scheduler struct {
+	weights map[cell.Flow]float64
+	queues  map[cell.Flow]*queue.FIFO[item]
+	lastF   map[cell.Flow]float64
+	ready   itemHeap
+	// Virtual time state.
+	vtime      float64
+	vlast      cell.Time // real time of the last virtual-time update
+	backlogSum float64   // sum of weights of backlogged flows
+	backlogged map[cell.Flow]bool
+	served     uint64
+}
+
+type item struct {
+	c      cell.Cell
+	finish float64
+}
+
+// New returns an empty scheduler.
+func New() *Scheduler {
+	return &Scheduler{
+		weights:    make(map[cell.Flow]float64),
+		queues:     make(map[cell.Flow]*queue.FIFO[item]),
+		lastF:      make(map[cell.Flow]float64),
+		backlogged: make(map[cell.Flow]bool),
+	}
+}
+
+// AddFlow registers a flow with a positive weight. Flows must be registered
+// before their first cell.
+func (s *Scheduler) AddFlow(f cell.Flow, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("wfq: weight must be positive, got %g", weight)
+	}
+	if _, ok := s.weights[f]; ok {
+		return fmt.Errorf("wfq: flow %v already registered", f)
+	}
+	s.weights[f] = weight
+	s.queues[f] = queue.New[item](4)
+	return nil
+}
+
+// advance moves virtual time to real slot t: V grows at rate
+// 1/backlogSum while any flow is backlogged (unit-capacity server).
+func (s *Scheduler) advance(t cell.Time) {
+	if t > s.vlast {
+		if s.backlogSum > 0 {
+			s.vtime += float64(t-s.vlast) / s.backlogSum
+		}
+		s.vlast = t
+	}
+}
+
+// Enqueue accepts a cell of flow c.Flow at slot t.
+func (s *Scheduler) Enqueue(t cell.Time, c cell.Cell) error {
+	w, ok := s.weights[c.Flow]
+	if !ok {
+		return fmt.Errorf("wfq: flow %v not registered", c.Flow)
+	}
+	s.advance(t)
+	start := s.vtime
+	if prev := s.lastF[c.Flow]; prev > start {
+		start = prev
+	}
+	fin := start + 1/w
+	s.lastF[c.Flow] = fin
+	q := s.queues[c.Flow]
+	q.Push(item{c: c, finish: fin})
+	if !s.backlogged[c.Flow] {
+		s.backlogged[c.Flow] = true
+		s.backlogSum += w
+	}
+	if q.Len() == 1 {
+		heap.Push(&s.ready, item{c: c, finish: fin})
+	}
+	return nil
+}
+
+// Dequeue serves one cell at slot t (the smallest virtual finish time among
+// head-of-line cells); ok is false when idle.
+func (s *Scheduler) Dequeue(t cell.Time) (cell.Cell, bool) {
+	s.advance(t)
+	if len(s.ready) == 0 {
+		return cell.Cell{}, false
+	}
+	it := heap.Pop(&s.ready).(item)
+	q := s.queues[it.c.Flow]
+	q.Pop()
+	s.served++
+	if q.Empty() {
+		s.backlogged[it.c.Flow] = false
+		s.backlogSum -= s.weights[it.c.Flow]
+		if s.backlogSum < 1e-12 {
+			s.backlogSum = 0
+		}
+	} else {
+		heap.Push(&s.ready, q.Peek())
+	}
+	out := it.c
+	out.Depart = t
+	return out, true
+}
+
+// Backlog reports queued cells.
+func (s *Scheduler) Backlog() int {
+	n := 0
+	for _, q := range s.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// Served reports cells served so far.
+func (s *Scheduler) Served() uint64 { return s.served }
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].c.Seq < h[j].c.Seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

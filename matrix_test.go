@@ -1,0 +1,74 @@
+package ppsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ppsim"
+)
+
+// TestAlgorithmTrafficMatrix smoke-runs every registered algorithm against
+// every traffic family through the public API: each combination must drain
+// with all invariants intact (the fabric audits per slot) and with a
+// sensible worst-case relative delay. This is the broad compatibility net
+// under the targeted per-theorem tests.
+func TestAlgorithmTrafficMatrix(t *testing.T) {
+	const n, k, rp = 8, 8, 4 // S = 2: every algorithm's comfort zone
+	traffics := []struct {
+		name string
+		mk   func() ppsim.Source
+	}{
+		{"bernoulli", func() ppsim.Source { return ppsim.NewBernoulli(n, 0.6, 300, 7) }},
+		{"shaped-bursty", func() ppsim.Source {
+			o, err := ppsim.NewOnOff(n, 6, 3, 300, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ppsim.Shape(n, 4, o)
+		}},
+		{"permutation", func() ppsim.Source {
+			perm := make([]ppsim.Port, n)
+			for i := range perm {
+				perm[i] = ppsim.Port((i + 3) % n)
+			}
+			p, err := ppsim.NewPermutation(perm, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"concentration", func() ppsim.Source {
+			tr, err := ppsim.ConcentrationTrace(n, n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		}},
+	}
+	for _, name := range ppsim.AlgorithmNames() {
+		// Partition size must be >= r' and divide K.
+		alg := ppsim.Algorithm{Name: name, D: int(rp), U: 3, H: 2, Seed: 5, Capacity: -1}
+		cfg := ppsim.Config{N: n, K: k, RPrime: rp, Algorithm: alg}
+		if alg.InputBuffered() {
+			cfg.BufferCap = -1
+		}
+		for _, tr := range traffics {
+			t.Run(fmt.Sprintf("%s/%s", name, tr.name), func(t *testing.T) {
+				res, err := ppsim.Run(cfg, tr.mk(), ppsim.Options{Horizon: 5000, Validate: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Report.Cells == 0 {
+					t.Fatal("no cells switched")
+				}
+				// Generous sanity ceiling: nothing should exceed the
+				// Iyer-McKeown N*r' envelope plus the traffic burstiness
+				// and the buffered lag on these benign workloads.
+				limit := ppsim.Time(n*int(rp)) + ppsim.Time(res.Burstiness) + alg.U
+				if res.Report.MaxRQD > limit {
+					t.Errorf("MaxRQD %d above the sanity envelope %d", res.Report.MaxRQD, limit)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package ppsim
+
+import (
+	"ppsim/internal/framer"
+)
+
+// Packet-level API: the paper's model assumes fragmentation and reassembly
+// happen outside the switch; these re-exports provide them. Offer packets
+// to a Segmenter, run it as the traffic source, and feed PPS departures to
+// a Reassembler via Options.OnPPSDepart.
+
+type (
+	// Packet is one variable-length unit offered to an input.
+	Packet = framer.Packet
+	// Segmenter fragments packets into cells and acts as a Source.
+	Segmenter = framer.Segmenter
+	// Reassembler completes packets from switch departures.
+	Reassembler = framer.Reassembler
+)
+
+// NewSegmenter returns a segmenter for an n-port switch.
+func NewSegmenter(n int) *Segmenter { return framer.NewSegmenter(n) }
+
+// NewReassembler returns a reassembler bound to the segmentation.
+func NewReassembler(seg *Segmenter) *Reassembler { return framer.NewReassembler(seg) }

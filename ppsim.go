@@ -1,0 +1,153 @@
+// Package ppsim is a simulation laboratory for parallel packet switches
+// (PPS), reproducing "The Inherent Queuing Delay of Parallel Packet
+// Switches" (Attiya & Hay, SPAA 2004).
+//
+// A PPS is a three-stage Clos network: N input-ports, K < N center-stage
+// switches ("planes") running at internal rate r < R, and N output-ports.
+// The package provides the slotted-time formal model of the paper — input
+// and output rate constraints on the internal lines, bufferless and
+// input-buffered variants — together with every demultiplexing algorithm
+// the paper analyses, the work-conserving FCFS output-queued reference
+// switch, leaky-bucket traffic machinery, and the adversarial traffic
+// constructions from the lower-bound proofs.
+//
+// The primary entry point is Run, which executes a traffic source through a
+// configured PPS and the shadow reference switch and reports the relative
+// queuing delay and relative delay jitter:
+//
+//	cfg := ppsim.Config{N: 16, K: 8, RPrime: 2, Algorithm: ppsim.Algorithm{Name: "rr"}}
+//	res, err := ppsim.Run(cfg, ppsim.NewBernoulli(16, 0.6, 10_000, 1), ppsim.Options{})
+//	fmt.Println(res.Report)
+package ppsim
+
+import (
+	"fmt"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/demux"
+	"ppsim/internal/fabric"
+	"ppsim/internal/harness"
+	"ppsim/internal/metrics"
+	"ppsim/internal/mux"
+	"ppsim/internal/traffic"
+)
+
+// Re-exported core types. These aliases are the public names; the internal
+// packages are implementation detail.
+type (
+	// Time is a discrete time-slot index.
+	Time = cell.Time
+	// Port identifies an input- or output-port.
+	Port = cell.Port
+	// PlaneID identifies a center-stage plane.
+	PlaneID = cell.Plane
+	// Cell is one fixed-size switched cell with its timing stamps.
+	Cell = cell.Cell
+	// Flow is an (input, output) pair.
+	Flow = cell.Flow
+	// Source produces cell arrivals per slot.
+	Source = traffic.Source
+	// Arrival is one (input, output) arrival event.
+	Arrival = traffic.Arrival
+	// Trace is an explicit finite arrival schedule.
+	Trace = traffic.Trace
+	// Report carries the relative-delay figures of one execution.
+	Report = metrics.Report
+	// Result is a Report plus execution-level measurements.
+	Result = harness.Result
+	// Options tunes a Run.
+	Options = harness.Options
+)
+
+// NoTime is the unset-time sentinel (used as "unbounded" for sources).
+const NoTime = cell.None
+
+// Config describes the switch under test.
+type Config struct {
+	// N is the number of external ports.
+	N int
+	// K is the number of center-stage planes.
+	K int
+	// RPrime is r' = R/r >= 1; the speedup is S = K/RPrime.
+	RPrime int64
+	// BufferCap bounds input-port buffers: 0 = bufferless PPS (the
+	// default), -1 = unbounded, positive = per-input capacity.
+	BufferCap int
+	// LazyMux switches the output multiplexors from eager pulling to
+	// one-pull-per-slot FCFS (an ablation; see DESIGN.md §5).
+	LazyMux bool
+	// MuxBudget, when positive, bounds each output's pulls per slot
+	// (the dial between lazy = 1 and eager >= K); it takes precedence
+	// over LazyMux.
+	MuxBudget int
+	// DisableChecks turns off the per-slot conservation audit (it is on
+	// by default; turn off only for throughput benchmarking).
+	DisableChecks bool
+	// Algorithm selects the demultiplexing algorithm.
+	Algorithm Algorithm
+}
+
+// Speedup returns S = K / r'.
+func (c Config) Speedup() float64 { return float64(c.K) / float64(c.RPrime) }
+
+// fabricConfig lowers the public config.
+func (c Config) fabricConfig() fabric.Config {
+	fc := fabric.Config{
+		N:               c.N,
+		K:               c.K,
+		RPrime:          c.RPrime,
+		BufferCap:       c.BufferCap,
+		CheckInvariants: !c.DisableChecks,
+	}
+	switch {
+	case c.MuxBudget > 0:
+		fc.Mux = mux.BoundedEager{Max: c.MuxBudget}
+	case c.LazyMux:
+		fc.Mux = mux.LazyFCFS{}
+	}
+	return fc
+}
+
+// Run executes src through a fresh PPS configured by cfg and through the
+// shadow FCFS output-queued reference switch, until both drain, and returns
+// the matched measurements.
+func Run(cfg Config, src Source, opts Options) (Result, error) {
+	factory, err := cfg.Algorithm.factory()
+	if err != nil {
+		return Result{}, err
+	}
+	return harness.Run(cfg.fabricConfig(), factory, src, opts)
+}
+
+// Compare runs the same finite source through one switch per algorithm and
+// returns the results keyed by algorithm name, for side-by-side tables.
+func Compare(cfg Config, algs []Algorithm, src *Trace, opts Options) (map[string]Result, error) {
+	out := make(map[string]Result, len(algs))
+	for _, a := range algs {
+		c := cfg
+		c.Algorithm = a
+		res, err := Run(c, src, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ppsim: algorithm %q: %w", a.Name, err)
+		}
+		out[res.AlgorithmName] = res
+	}
+	return out, nil
+}
+
+// Validate checks the configuration without running anything: it builds a
+// throwaway switch, which constructs the algorithm and surfaces geometry
+// and parameter errors (e.g. a partition size that does not divide K).
+func (c Config) Validate() error {
+	factory, err := c.Algorithm.factory()
+	if err != nil {
+		return err
+	}
+	_, err = fabric.New(c.fabricConfig(), factory)
+	return err
+}
+
+// internalFactory exposes the lowered algorithm factory to sibling files.
+func (c Config) internalFactory() (func(demux.Env) (demux.Algorithm, error), error) {
+	return c.Algorithm.factory()
+}

@@ -1,0 +1,72 @@
+package ppsim
+
+import (
+	"fmt"
+
+	"ppsim/internal/stats"
+)
+
+// Distribution summarizes a metric across many seeded runs.
+type Distribution struct {
+	Runs int
+	Min  Time
+	Mean float64
+	P50  Time
+	P99  Time
+	Max  Time
+}
+
+// String renders the distribution on one line.
+func (d Distribution) String() string {
+	return fmt.Sprintf("runs=%d min=%d mean=%.2f p50=%d p99=%d max=%d",
+		d.Runs, d.Min, d.Mean, d.P50, d.P99, d.Max)
+}
+
+// RunSeeds executes the same configuration over seeds 0..runs-1, with a
+// fresh source per seed, and returns the distribution of the worst-case
+// relative queuing delay. It answers the paper's Discussion question about
+// randomized demultiplexing algorithms ("it would be interesting to study
+// the distribution of the relative queuing delay when randomization is
+// employed") for any (algorithm, traffic) pair: seed the algorithm, the
+// traffic, or both.
+//
+// newCfg may adjust the configuration per seed (e.g. set Algorithm.Seed);
+// passing nil reuses cfg unchanged. Runs execute in parallel via RunSweep.
+func RunSeeds(cfg Config, runs int, newCfg func(seed int64, base Config) Config, newSource func(seed int64) Source, opts Options) (Distribution, error) {
+	if runs <= 0 {
+		return Distribution{}, fmt.Errorf("ppsim: RunSeeds needs runs > 0, got %d", runs)
+	}
+	if newSource == nil {
+		return Distribution{}, fmt.Errorf("ppsim: RunSeeds needs a source factory")
+	}
+	points := make([]SweepPoint, runs)
+	for s := 0; s < runs; s++ {
+		seed := int64(s)
+		c := cfg
+		if newCfg != nil {
+			c = newCfg(seed, cfg)
+		}
+		points[s] = SweepPoint{
+			Label:     fmt.Sprintf("seed=%d", seed),
+			Config:    c,
+			NewSource: func() Source { return newSource(seed) },
+			Options:   opts,
+		}
+	}
+	results := RunSweep(points, 0)
+	var sum stats.Summary
+	for _, r := range results {
+		if r.Err != nil {
+			return Distribution{}, fmt.Errorf("ppsim: %s: %w", r.Label, r.Err)
+		}
+		sum.Add(int64(r.Result.Report.MaxRQD))
+	}
+	return Distribution{
+		Runs: runs,
+		Min:  Time(sum.Min()),
+		Mean: sum.Mean(),
+		P50:  Time(sum.Percentile(50)),
+		P99:  Time(sum.Percentile(99)),
+		Max:  Time(sum.Max()),
+	}, nil
+}

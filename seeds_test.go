@@ -1,0 +1,76 @@
+package ppsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"ppsim"
+)
+
+func TestRunSeedsRandomizedDispatch(t *testing.T) {
+	const n = 16
+	cfg := ppsim.Config{N: n, K: 4, RPrime: 3, Algorithm: ppsim.Algorithm{Name: "random"}}
+	tr, err := ppsim.ConcentrationTrace(n, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ppsim.RunSeeds(cfg, 20,
+		func(seed int64, base ppsim.Config) ppsim.Config {
+			base.Algorithm.Seed = seed
+			return base
+		},
+		func(int64) ppsim.Source { return tr },
+		ppsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Runs != 20 {
+		t.Errorf("Runs = %d", dist.Runs)
+	}
+	if dist.Min > dist.P50 || dist.P50 > dist.P99 || dist.P99 > dist.Max {
+		t.Errorf("quantiles out of order: %v", dist)
+	}
+	// Randomization keeps the delay far below the deterministic worst
+	// case (N-1)(r'-1) = 30.
+	if dist.Max >= 30 {
+		t.Errorf("randomized max %d at the deterministic worst case", dist.Max)
+	}
+	if !strings.Contains(dist.String(), "runs=20") {
+		t.Errorf("String = %q", dist.String())
+	}
+}
+
+func TestRunSeedsDeterministicIsConstant(t *testing.T) {
+	cfg := ppsim.Config{N: 8, K: 4, RPrime: 2, Algorithm: ppsim.Algorithm{Name: "rr"}}
+	tr, err := ppsim.ConcentrationTrace(8, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ppsim.RunSeeds(cfg, 5, nil, func(int64) ppsim.Source { return tr }, ppsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Min != dist.Max {
+		t.Errorf("deterministic algorithm should give a point distribution: %v", dist)
+	}
+	if dist.Min != 7 {
+		t.Errorf("expected (N-1)(r'-1) = 7, got %d", dist.Min)
+	}
+}
+
+func TestRunSeedsValidation(t *testing.T) {
+	cfg := ppsim.Config{N: 4, K: 2, RPrime: 1, Algorithm: ppsim.Algorithm{Name: "rr"}}
+	if _, err := ppsim.RunSeeds(cfg, 0, nil, func(int64) ppsim.Source { return nil }, ppsim.Options{}); err == nil {
+		t.Error("runs=0 must error")
+	}
+	if _, err := ppsim.RunSeeds(cfg, 1, nil, nil, ppsim.Options{}); err == nil {
+		t.Error("nil factory must error")
+	}
+	bad := cfg
+	bad.Algorithm.Name = "no-such"
+	if _, err := ppsim.RunSeeds(bad, 1, nil, func(int64) ppsim.Source {
+		return ppsim.NewBernoulli(4, 0.5, 10, 1)
+	}, ppsim.Options{}); err == nil {
+		t.Error("per-run errors must surface")
+	}
+}

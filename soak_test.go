@@ -1,0 +1,59 @@
+package ppsim_test
+
+import (
+	"testing"
+
+	"ppsim"
+)
+
+// TestSoakLargeSwitch runs a large switch for a long horizon with every
+// invariant audit enabled — the stability net for refactors. Skipped under
+// -short.
+func TestSoakLargeSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n, k, rp, horizon = 128, 16, 4, 30_000 // S = 4
+	for _, alg := range []ppsim.Algorithm{
+		{Name: "rr"},
+		{Name: "cpa"},
+	} {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			cfg := ppsim.Config{N: n, K: k, RPrime: rp, Algorithm: alg}
+			src := ppsim.Shape(n, 16, ppsim.NewBernoulli(n, 0.85, horizon, 99))
+			res, err := ppsim.Run(cfg, src, ppsim.Options{Horizon: horizon * 8, Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.Cells < uint64(float64(n)*0.8*horizon*0.9) {
+				t.Errorf("suspiciously few cells: %d", res.Report.Cells)
+			}
+			if alg.Name == "cpa" && res.Report.MaxRQD != 0 {
+				t.Errorf("CPA at S=4 over %d cells: MaxRQD = %d, want 0", res.Report.Cells, res.Report.MaxRQD)
+			}
+			t.Logf("%s: %v (peak plane queue %d, %d slots)", alg.Name, res.Report, res.PeakPlaneQueue, res.Slots)
+		})
+	}
+}
+
+// TestSoakAdversarialLarge steers a 256-port switch: the Corollary 7 shape
+// must hold at scale, not just at toy sizes. Skipped under -short.
+func TestSoakAdversarialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n, k, rp = 256, 4, 2
+	cfg := ppsim.Config{N: n, K: k, RPrime: rp, Algorithm: ppsim.Algorithm{Name: "rr"}}
+	tr, err := ppsim.SteeringTrace(cfg, ppsim.AllInputs(n), 0, 1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppsim.Run(cfg, tr, ppsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ppsim.Time((n - 1) * (rp - 1)); res.Report.MaxRQD != want {
+		t.Errorf("N=%d steered MaxRQD = %d, want %d", n, res.Report.MaxRQD, want)
+	}
+}

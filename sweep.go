@@ -1,0 +1,85 @@
+package ppsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepPoint is one cell of a parameter sweep: a switch configuration, a
+// fresh traffic source, and run options. NewSource is a factory because
+// sources are stateful (randomized generators, regulators) and sweep points
+// run concurrently.
+type SweepPoint struct {
+	// Label identifies the point in results and reports.
+	Label string
+	// Config is the switch under test.
+	Config Config
+	// NewSource builds this point's traffic; it is called exactly once.
+	NewSource func() Source
+	// Options tunes the run.
+	Options Options
+}
+
+// SweepResult pairs a point's label with its outcome.
+type SweepResult struct {
+	Label  string
+	Result Result
+	Err    error
+}
+
+// RunSweep executes the points concurrently on a bounded worker pool and
+// returns the results in point order. Each point gets a fresh switch,
+// shadow and source, so points are fully independent; workers <= 0 uses
+// GOMAXPROCS. A point's failure is recorded in its SweepResult and does not
+// stop the sweep.
+//
+// Simulations are deterministic, so a sweep's results do not depend on the
+// worker count — only the wall-clock time does.
+func RunSweep(points []SweepPoint, workers int) []SweepResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]SweepResult, len(points))
+	if len(points) == 0 {
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runPoint(points[i])
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runPoint executes one sweep point, converting panics from misconfigured
+// factories into errors so one bad point cannot take down the sweep.
+func runPoint(p SweepPoint) (sr SweepResult) {
+	sr.Label = p.Label
+	defer func() {
+		if r := recover(); r != nil {
+			sr.Err = fmt.Errorf("ppsim: sweep point %q panicked: %v", p.Label, r)
+		}
+	}()
+	if p.NewSource == nil {
+		sr.Err = fmt.Errorf("ppsim: sweep point %q has no source factory", p.Label)
+		return sr
+	}
+	res, err := Run(p.Config, p.NewSource(), p.Options)
+	sr.Result, sr.Err = res, err
+	return sr
+}
