@@ -3,6 +3,12 @@
 // model fixes: speedup, Clos descriptor, line counts.
 //
 //	ppsdiag -n 5 -k 2 -rprime 2
+//
+// With -series it instead runs an instrumented simulation and streams
+// per-slot probe series (plane backlogs, buffer depths, front RQD, ...) as
+// long-format CSV or JSON, e.g. the Theorem 6 steering adversary:
+//
+//	ppsdiag -series -n 16 -k 4 -rprime 2 -alg rr -traffic steering
 package main
 
 import (
@@ -10,19 +16,57 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"ppsim"
 )
 
 func main() {
-	n := flag.Int("n", 5, "external ports N")
-	k := flag.Int("k", 2, "center-stage planes K")
-	rprime := flag.Int64("rprime", 2, "internal line occupancy r' = R/r")
+	var (
+		n      = flag.Int("n", 5, "external ports N")
+		k      = flag.Int("k", 2, "center-stage planes K")
+		rprime = flag.Int64("rprime", 2, "internal line occupancy r' = R/r")
+		series = flag.Bool("series", false, "run a simulation and stream per-slot probe series instead of rendering")
+		alg    = flag.String("alg", "rr", "demultiplexing algorithm (series mode)")
+		kind   = flag.String("traffic", "steering", "traffic: bernoulli, flood, permutation, steering (series mode)")
+		load   = flag.Float64("load", 0.6, "per-input load for bernoulli (series mode)")
+		seed   = flag.Int64("seed", 1, "random seed (series mode)")
+		slots  = flag.Int64("slots", 2000, "traffic horizon in slots (series mode)")
+		stride = flag.Int64("stride", 1, "sample every stride-th slot (series mode)")
+		format = flag.String("format", "csv", "series output format: csv or json")
+		out    = flag.String("out", "", "series output file (default stdout)")
+	)
 	flag.Parse()
 
 	if *n <= 0 || *k <= 0 || *rprime < 1 {
 		fmt.Fprintln(os.Stderr, "ppsdiag: need n > 0, k > 0, rprime >= 1")
 		os.Exit(2)
 	}
-	fmt.Print(Render(*n, *k, *rprime))
+	if !*series {
+		fmt.Print(Render(*n, *k, *rprime))
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppsdiag:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	err := runSeries(w, seriesConfig{
+		N: *n, K: *k, RPrime: *rprime,
+		Alg: *alg, Kind: *kind, Load: *load, Seed: *seed,
+		Slots:  ppsim.Time(*slots),
+		Stride: ppsim.Time(*stride),
+		Format: *format,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsdiag:", err)
+		os.Exit(1)
+	}
 }
 
 // Render draws the three-stage PPS.

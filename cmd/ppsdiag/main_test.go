@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -38,5 +39,72 @@ func TestRenderLineCounts(t *testing.T) {
 	out := Render(8, 4, 3)
 	if !strings.Contains(out, "32 + 32 internal lines, each carrying one cell per 3 slots") {
 		t.Errorf("line counts wrong:\n%s", out)
+	}
+}
+
+// TestSeriesSteeringDivergence is the acceptance check for series mode: under
+// the Theorem 6 steering adversary (N=16, K=4, r'=2, rr) the per-slot
+// plane-backlog series must show the steered plane's queue diverging toward
+// the N/S = 8 bound while the remaining planes stay near-empty.
+func TestSeriesSteeringDivergence(t *testing.T) {
+	var sb strings.Builder
+	err := runSeries(&sb, seriesConfig{
+		N: 16, K: 4, RPrime: 2,
+		Alg: "rr", Kind: "steering", Seed: 1,
+		Slots: 2000, Stride: 1, Format: "csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "series,slot,value" {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+	peak := map[string]float64{}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 3 || !strings.HasPrefix(f[0], "plane_backlog[") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(f[2], "%g", &v); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if v > peak[f[0]] {
+			peak[f[0]] = v
+		}
+	}
+	if len(peak) != 4 {
+		t.Fatalf("expected 4 plane_backlog series, got %v", peak)
+	}
+	// The adversary steers every cell onto plane 1; with S = K/r' = 2 the
+	// concentration drives that plane's backlog to N/S = 8.
+	steered, rest := peak["plane_backlog[1]"], 0.0
+	for name, v := range peak {
+		if name != "plane_backlog[1]" && v > rest {
+			rest = v
+		}
+	}
+	if steered < 8 {
+		t.Errorf("steered plane peaked at %g, want >= 8 (N/S)", steered)
+	}
+	if steered < 2*rest {
+		t.Errorf("no divergence: steered peak %g vs other planes' %g", steered, rest)
+	}
+}
+
+// TestSeriesJSONFormat smoke-checks the JSON output path.
+func TestSeriesJSONFormat(t *testing.T) {
+	var sb strings.Builder
+	err := runSeries(&sb, seriesConfig{
+		N: 4, K: 2, RPrime: 1,
+		Alg: "rr", Kind: "bernoulli", Load: 0.5, Seed: 1,
+		Slots: 50, Stride: 5, Format: "json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "[") || !strings.Contains(sb.String(), `"pps_in_flight"`) {
+		t.Errorf("unexpected JSON series output: %.120s", sb.String())
 	}
 }

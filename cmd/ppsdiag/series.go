@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"ppsim"
+)
+
+// seriesConfig parameterizes one per-slot series capture.
+type seriesConfig struct {
+	N      int
+	K      int
+	RPrime int64
+	Alg    string
+	Kind   string // traffic: bernoulli, flood, permutation, steering
+	Load   float64
+	Seed   int64
+	Slots  ppsim.Time
+	Stride ppsim.Time
+	Format string // csv or json
+}
+
+// runSeries executes one instrumented run and streams every standard probe
+// series to w (long-format CSV or JSON). This is the diagnostic companion to
+// the static Figure-1 rendering: instead of the architecture it shows the
+// per-slot trajectory — plane backlogs, buffer depths, front RQD — of an
+// actual execution through that architecture.
+func runSeries(w io.Writer, sc seriesConfig) error {
+	switch sc.Format {
+	case "", "csv", "json":
+	default:
+		return fmt.Errorf("unknown series format %q (want csv or json)", sc.Format)
+	}
+	cfg := ppsim.Config{
+		N: sc.N, K: sc.K, RPrime: sc.RPrime,
+		Algorithm: ppsim.Algorithm{Name: sc.Alg, Seed: sc.Seed},
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	src, err := seriesTraffic(cfg, sc)
+	if err != nil {
+		return err
+	}
+	probes := ppsim.StandardProbes(sc.N, sc.K, sc.Stride, 0)
+	res, err := ppsim.Run(cfg, src, ppsim.Options{Probes: probes})
+	if err != nil {
+		return err
+	}
+	switch sc.Format {
+	case "", "csv":
+		return ppsim.WriteSeriesCSV(w, res.Series)
+	case "json":
+		return ppsim.WriteSeriesJSON(w, res.Series)
+	default:
+		return fmt.Errorf("unknown series format %q (want csv or json)", sc.Format)
+	}
+}
+
+// seriesTraffic builds the workloads most useful for per-slot inspection:
+// the steering adversary (the paper's Theorem 6 lower-bound construction,
+// whose plane backlogs this tool exists to visualize) plus the bernoulli,
+// flood, and permutation baselines.
+func seriesTraffic(cfg ppsim.Config, sc seriesConfig) (ppsim.Source, error) {
+	switch sc.Kind {
+	case "bernoulli":
+		return ppsim.NewBernoulli(sc.N, sc.Load, sc.Slots, sc.Seed), nil
+	case "flood":
+		return ppsim.NewFlood(sc.N, 0, sc.Slots), nil
+	case "permutation":
+		perm := make([]ppsim.Port, sc.N)
+		for i := range perm {
+			perm[i] = ppsim.Port((i + 1) % sc.N)
+		}
+		return ppsim.NewPermutation(perm, sc.Slots)
+	case "steering":
+		return ppsim.SteeringTrace(cfg, ppsim.AllInputs(sc.N), 0, 1, 16, sc.Seed)
+	default:
+		return nil, fmt.Errorf("unknown traffic kind %q (want bernoulli, flood, permutation, steering)", sc.Kind)
+	}
+}

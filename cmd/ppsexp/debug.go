@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+
+	"ppsim"
+)
+
+// startDebugServer serves net/http/pprof plus a plain-text /metrics endpoint
+// backed by the suite's registry on addr (e.g. "localhost:6060"). It returns
+// the bound address so callers (and tests) can use ":0".
+func startDebugServer(addr string, reg *ppsim.MetricsRegistry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ppsexp: debug server:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

@@ -5,7 +5,10 @@
 //
 //	ppsexp [-quick] [-markdown] [-run E4,E5]
 //
-// Without -run it executes the full suite in ID order.
+// Without -run it executes the full suite in ID order. With -debug-addr it
+// also serves net/http/pprof and a /metrics endpoint (suite telemetry:
+// experiments run, failures, table rows, wall-time histogram) while the
+// suite executes.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"ppsim"
 	"ppsim/internal/experiments"
 )
 
@@ -24,7 +28,18 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV rows (experiment ID as the first column)")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	reg := ppsim.NewMetricsRegistry()
+	if *debugAddr != "" {
+		addr, err := startDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppsexp:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "ppsexp: pprof and /metrics on http://%s\n", addr)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -53,11 +68,15 @@ func main() {
 	for _, e := range selected {
 		start := time.Now()
 		tab, err := e.Run(opts)
+		reg.Counter("experiments_run").Inc()
+		reg.Histogram("experiment_ms", 250, 64).Add(time.Since(start).Milliseconds())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ppsexp: %s failed: %v\n", e.ID, err)
+			reg.Counter("experiment_failures").Inc()
 			failures++
 			continue
 		}
+		reg.Counter("table_rows").Add(int64(len(tab.Rows)))
 		switch {
 		case *csv:
 			fmt.Print(tab.CSV())

@@ -35,6 +35,9 @@ func main() {
 		slots   = flag.Int64("slots", 5000, "traffic horizon in slots")
 		algs    = flag.Bool("algs", false, "list algorithms and exit")
 		verbose = flag.Bool("v", false, "print utilization per output")
+		trace   = flag.String("trace", "", "write a JSONL event trace to FILE")
+		series  = flag.String("series", "", "write per-slot probe series CSV to FILE")
+		stride  = flag.Int64("stride", 1, "sample every stride-th slot (with -series)")
 	)
 	flag.Parse()
 
@@ -65,26 +68,52 @@ func main() {
 		src = ppsim.Shape(*n, *shapeB, src)
 	}
 
-	res, err := ppsim.Run(cfg, src, ppsim.Options{
+	opts := ppsim.Options{
 		Horizon:  ppsim.Time(*slots) * 8,
 		Validate: true,
-	})
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppssim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.Tracer = ppsim.NewJSONLTracer(f)
+	}
+	if *series != "" {
+		opts.Probes = ppsim.StandardProbes(*n, *k, ppsim.Time(*stride), 0)
+	}
+
+	res, err := ppsim.Run(cfg, src, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppssim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("switch: N=%d K=%d r'=%d S=%.2f algorithm=%s traffic=%s\n",
-		*n, *k, *rprime, cfg.Speedup(), res.AlgorithmName, *kind)
-	fmt.Printf("offered: %d cells over %d slots, measured leaky-bucket B=%d\n",
-		res.Report.Cells, res.Slots, res.Burstiness)
-	fmt.Println(res.Report)
-	fmt.Printf("peak plane queue: %d cells\n", res.PeakPlaneQueue)
+	fmt.Printf("switch: N=%d K=%d r'=%d S=%.2f traffic=%s\n",
+		*n, *k, *rprime, cfg.Speedup(), *kind)
+	fmt.Println(res)
 	if *verbose {
 		for j, u := range res.Utilization {
 			if u > 0 {
 				fmt.Printf("output %2d utilization: %.4f\n", j, u)
 			}
+		}
+	}
+
+	if *series != "" {
+		f, err := os.Create(*series)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppssim:", err)
+			os.Exit(1)
+		}
+		if err := ppsim.WriteSeriesCSV(f, res.Series); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppssim:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -36,12 +36,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("offered traffic: %d cells in %d flows, leaky-bucket B=%d\n",
-		res.Report.Cells, res.Report.Flows, res.Burstiness)
-	fmt.Printf("relative queuing delay: max=%d mean=%.2f p99=%d slots\n",
-		res.Report.MaxRQD, res.Report.MeanRQD, res.Report.P99RQD)
-	fmt.Printf("relative delay jitter:  %d slots\n", res.Report.RDJ)
-	fmt.Printf("peak plane queue:       %d cells\n", res.PeakPlaneQueue)
+	// Result implements fmt.Stringer; the pretty-printer covers the report,
+	// per-stage waits, and any attached observability output.
+	fmt.Println(res)
 
 	// The same traffic through the centralized CPA dispatcher: with
 	// S >= 2 it mimics the reference switch exactly (zero relative delay).

@@ -17,6 +17,7 @@ import (
 	"ppsim/internal/cell"
 	"ppsim/internal/demux"
 	"ppsim/internal/mux"
+	"ppsim/internal/obs"
 	"ppsim/internal/plane"
 	"ppsim/internal/timing"
 )
@@ -91,6 +92,16 @@ type PPS struct {
 	departed   uint64
 	lastSlot   cell.Time
 
+	// dispatchedPerPlane and pullsPerOut are cumulative per-stage traffic
+	// counters exposed to the per-slot probes (internal/obs).
+	dispatchedPerPlane []uint64
+	pullsPerOut        []int64
+
+	// tracer receives structured events; trace caches tracer.Enabled() so
+	// the disabled hot path is a single predictable branch per site.
+	tracer *obs.Tracer
+	trace  bool
+
 	// lastFlowSeq tracks per-flow order preservation at departure.
 	lastFlowSeq map[cell.Flow]uint64
 }
@@ -105,13 +116,15 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 		cfg.Mux = mux.Eager{}
 	}
 	p := &PPS{
-		cfg:          cfg,
-		inGates:      timing.NewMatrix(cfg.N, cfg.K, cfg.RPrime),
-		outGates:     timing.NewMatrix(cfg.K, cfg.N, cfg.RPrime),
-		pendingPerIn: make([]int, cfg.N),
-		seenStamp:    make([]cell.Time, cfg.N),
-		lastSlot:     -1,
-		lastFlowSeq:  make(map[cell.Flow]uint64),
+		cfg:                cfg,
+		inGates:            timing.NewMatrix(cfg.N, cfg.K, cfg.RPrime),
+		outGates:           timing.NewMatrix(cfg.K, cfg.N, cfg.RPrime),
+		pendingPerIn:       make([]int, cfg.N),
+		seenStamp:          make([]cell.Time, cfg.N),
+		lastSlot:           -1,
+		lastFlowSeq:        make(map[cell.Flow]uint64),
+		dispatchedPerPlane: make([]uint64, cfg.K),
+		pullsPerOut:        make([]int64, cfg.N),
 	}
 	for i := range p.seenStamp {
 		p.seenStamp[i] = cell.None
@@ -153,6 +166,37 @@ func (p *PPS) Plane(k cell.Plane) *plane.Plane { return p.planes[k] }
 // Output returns output-port j's multiplexor (for utilization reports).
 func (p *PPS) Output(j cell.Port) *mux.Output { return p.outputs[j] }
 
+// SetTracer attaches a structured event tracer; call before the first Step.
+// A nil tracer (or one over the null sink) keeps the hot path untraced.
+func (p *PPS) SetTracer(tr *obs.Tracer) {
+	p.tracer = tr
+	p.trace = tr.Enabled()
+}
+
+// InputPending reports the number of arrived-but-undispatched cells at
+// input in (the fabric's own count, not the algorithm's report).
+func (p *PPS) InputPending(in cell.Port) int { return p.pendingPerIn[in] }
+
+// Dispatched reports the total number of cells sent into the center stage.
+func (p *PPS) Dispatched() uint64 { return p.dispatched }
+
+// DispatchedTo reports the cumulative number of cells dispatched into
+// plane k — the distribution the demux-imbalance probe compares against
+// the round-robin ideal.
+func (p *PPS) DispatchedTo(k cell.Plane) uint64 { return p.dispatchedPerPlane[k] }
+
+// OutputPulls reports the cumulative number of cells output j's
+// multiplexor has pulled from the planes.
+func (p *PPS) OutputPulls(j cell.Port) int64 { return p.pullsPerOut[j] }
+
+// violation traces a model violation before the error aborts the run.
+func (p *PPS) violation(t cell.Time, err error) error {
+	if p.trace {
+		p.tracer.Emit(obs.Event{T: t, Kind: obs.EvViolation, Plane: cell.NoPlane, Note: err.Error()})
+	}
+	return err
+}
+
 // planeView adapts the center stage for one output's multiplexor.
 type planeView struct {
 	p *PPS
@@ -166,7 +210,11 @@ func (v planeView) Head(k cell.Plane) (cell.Cell, bool) {
 }
 func (v planeView) Pop(k cell.Plane) cell.Cell {
 	c := v.p.planes[k].Pop(v.j)
+	v.p.pullsPerOut[v.j]++
 	v.p.log.Append(demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k})
+	if v.p.trace {
+		v.p.tracer.Emit(obs.Event{T: v.t, Kind: obs.EvMuxPull, Seq: c.Seq, In: c.Flow.In, Out: v.j, Plane: k})
+	}
 	return c
 }
 func (v planeView) GateFree(k cell.Plane, t cell.Time) bool {
@@ -192,19 +240,22 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 	// 1. Arrivals.
 	for _, c := range arrivals {
 		if c.Arrive != t {
-			return dst, fmt.Errorf("fabric: cell %v presented at slot %d", c, t)
+			return dst, p.violation(t, fmt.Errorf("fabric: cell %v presented at slot %d", c, t))
 		}
 		if int(c.Flow.In) < 0 || int(c.Flow.In) >= p.cfg.N || int(c.Flow.Out) < 0 || int(c.Flow.Out) >= p.cfg.N {
-			return dst, fmt.Errorf("fabric: cell %v outside %dx%d switch", c, p.cfg.N, p.cfg.N)
+			return dst, p.violation(t, fmt.Errorf("fabric: cell %v outside %dx%d switch", c, p.cfg.N, p.cfg.N))
 		}
 		if p.seenStamp[c.Flow.In] == t {
-			return dst, fmt.Errorf("fabric: two cells arrived at input %d in slot %d", c.Flow.In, t)
+			return dst, p.violation(t, fmt.Errorf("fabric: two cells arrived at input %d in slot %d", c.Flow.In, t))
 		}
 		p.seenStamp[c.Flow.In] = t
 		p.arrived++
 		p.pendingPerIn[c.Flow.In]++
 		p.pendingTotal++
 		p.log.Append(demux.Event{T: t, Kind: demux.EvArrival, In: c.Flow.In, Out: c.Flow.Out})
+		if p.trace {
+			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvArrival, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: cell.NoPlane})
+		}
 	}
 
 	// 2. Demultiplexing.
@@ -215,23 +266,30 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 	for _, s := range sends {
 		c := s.Cell
 		if s.Plane < 0 || int(s.Plane) >= p.cfg.K {
-			return dst, fmt.Errorf("fabric: %s dispatched %v to nonexistent plane %d", p.alg.Name(), c, s.Plane)
+			return dst, p.violation(t, fmt.Errorf("fabric: %s dispatched %v to nonexistent plane %d", p.alg.Name(), c, s.Plane))
 		}
 		if err := p.inGates.Gate(int(c.Flow.In), int(s.Plane)).Seize(t); err != nil {
-			return dst, fmt.Errorf("fabric: %s violated the input constraint: %w", p.alg.Name(), err)
+			return dst, p.violation(t, fmt.Errorf("fabric: %s violated the input constraint: %w", p.alg.Name(), err))
 		}
 		if p.pendingPerIn[c.Flow.In] == 0 {
-			return dst, fmt.Errorf("fabric: %s dispatched cell %v that is not pending at input %d", p.alg.Name(), c, c.Flow.In)
+			return dst, p.violation(t, fmt.Errorf("fabric: %s dispatched cell %v that is not pending at input %d", p.alg.Name(), c, c.Flow.In))
 		}
 		p.pendingPerIn[c.Flow.In]--
 		p.pendingTotal--
 		p.dispatched++
+		p.dispatchedPerPlane[s.Plane]++
 		c.Dispatch = t
 		c.Via = s.Plane
+		if p.trace {
+			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDispatch, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: s.Plane})
+		}
 		if err := p.planes[s.Plane].Enqueue(c); err != nil {
-			return dst, err
+			return dst, p.violation(t, err)
 		}
 		p.log.Append(demux.Event{T: t, Kind: demux.EvDispatch, In: c.Flow.In, Out: c.Flow.Out, K: s.Plane})
+		if p.trace {
+			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvPlaneEnqueue, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: s.Plane})
+		}
 	}
 
 	// 3. Buffer discipline.
@@ -239,14 +297,14 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 		in := cell.Port(i)
 		rep := p.alg.Buffered(in)
 		if rep != p.pendingPerIn[i] {
-			return dst, fmt.Errorf("fabric: %s reports %d buffered at input %d, fabric counts %d (cell lost or duplicated)",
-				p.alg.Name(), rep, in, p.pendingPerIn[i])
+			return dst, p.violation(t, fmt.Errorf("fabric: %s reports %d buffered at input %d, fabric counts %d (cell lost or duplicated)",
+				p.alg.Name(), rep, in, p.pendingPerIn[i]))
 		}
 		switch {
 		case p.cfg.BufferCap == 0 && rep != 0:
-			return dst, fmt.Errorf("fabric: bufferless PPS but %s buffered %d cells at input %d", p.alg.Name(), rep, in)
+			return dst, p.violation(t, fmt.Errorf("fabric: bufferless PPS but %s buffered %d cells at input %d", p.alg.Name(), rep, in))
 		case p.cfg.BufferCap > 0 && rep > p.cfg.BufferCap:
-			return dst, fmt.Errorf("fabric: input %d buffer occupancy %d exceeds capacity %d", in, rep, p.cfg.BufferCap)
+			return dst, p.violation(t, fmt.Errorf("fabric: input %d buffer occupancy %d exceeds capacity %d", in, rep, p.cfg.BufferCap))
 		}
 	}
 
@@ -260,19 +318,22 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 			continue
 		}
 		if last, seen := p.lastFlowSeq[c.Flow]; seen && c.FlowSeq != last+1 {
-			return dst, fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, last)
+			return dst, p.violation(t, fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, last))
 		} else if !seen && c.FlowSeq != 0 {
-			return dst, fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq)
+			return dst, p.violation(t, fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq))
 		}
 		p.lastFlowSeq[c.Flow] = c.FlowSeq
 		p.departed++
+		if p.trace {
+			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDepart, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
+		}
 		dst = append(dst, c)
 	}
 
 	// 5. Conservation audit.
 	if p.cfg.CheckInvariants {
 		if err := p.audit(); err != nil {
-			return dst, err
+			return dst, p.violation(t, err)
 		}
 	}
 	return dst, nil

@@ -6,11 +6,13 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"ppsim/internal/cell"
 	"ppsim/internal/demux"
 	"ppsim/internal/fabric"
 	"ppsim/internal/metrics"
+	"ppsim/internal/obs"
 	"ppsim/internal/shadow"
 	"ppsim/internal/traffic"
 )
@@ -34,6 +36,23 @@ type Options struct {
 	// failed plane — the fault-tolerance experiments use this to find
 	// which inputs a failure strands (Section 3 of the paper).
 	FailPlanes []cell.Plane
+	// Utilization computes Result.Utilization, the per-output busy
+	// fractions. Opt-in: it is O(N) per run and most internal callers
+	// never read it; the public ppsim.Run turns it on to keep its
+	// historical default behavior.
+	Utilization bool
+	// Probes are sampled once per slot, after the mux phase, so their
+	// series align with the paper's departure-time accounting (DESIGN.md
+	// §7). Probes must not be shared between concurrent runs.
+	Probes []obs.Probe
+	// Tracer, if non-nil, receives the structured event stream (arrival,
+	// dispatch, plane-enqueue, mux-pull, depart, constraint-violation)
+	// from the fabric.
+	Tracer *obs.Tracer
+	// Metrics, if non-nil, accumulates cumulative run telemetry
+	// (harness_* counters and histograms) at the end of the run. A single
+	// registry may be shared across runs; it is concurrency-safe.
+	Metrics *obs.Registry
 }
 
 // Result summarizes a matched execution.
@@ -47,8 +66,14 @@ type Result struct {
 	// Slots is the number of slots until both switches drained.
 	Slots cell.Time
 	// Utilization is the per-output busy fraction between first and last
-	// departure.
+	// departure (only if Options.Utilization; the public ppsim.Run always
+	// fills it).
 	Utilization []float64
+	// Series holds the time series sampled by Options.Probes, in probe
+	// order; nil when no probes were attached.
+	Series []*obs.Series
+	// TraceEvents counts events emitted to Options.Tracer.
+	TraceEvents uint64
 	// AlgorithmName echoes the algorithm under test.
 	AlgorithmName string
 }
@@ -69,6 +94,29 @@ func Run(cfg fabric.Config, factory func(demux.Env) (demux.Algorithm, error), sr
 	return Drive(pps, src, opts)
 }
 
+// slotView adapts the matched execution for obs.Probe sampling. It is
+// refreshed (slot and front-RQD) each slot and handed to every probe.
+type slotView struct {
+	pps   *fabric.PPS
+	sh    *shadow.Switch
+	slot  cell.Time
+	rqd   cell.Time
+	rqdOK bool
+}
+
+func (v *slotView) Slot() cell.Time            { return v.slot }
+func (v *slotView) Ports() int                 { return v.pps.Config().N }
+func (v *slotView) Planes() int                { return v.pps.Config().K }
+func (v *slotView) PlaneBacklog(k int) int     { return v.pps.Plane(cell.Plane(k)).Backlog() }
+func (v *slotView) PlanePeak(k int) int        { return v.pps.Plane(cell.Plane(k)).PeakQueue() }
+func (v *slotView) InputDepth(i int) int       { return v.pps.InputPending(cell.Port(i)) }
+func (v *slotView) OutputBuffered(j int) int   { return v.pps.Output(cell.Port(j)).Buffered() }
+func (v *slotView) OutputPulls(j int) int64    { return v.pps.OutputPulls(cell.Port(j)) }
+func (v *slotView) DispatchedTo(k int) uint64  { return v.pps.DispatchedTo(cell.Plane(k)) }
+func (v *slotView) PPSInFlight() int           { return v.pps.Backlog() }
+func (v *slotView) ShadowInFlight() int        { return v.sh.Backlog() }
+func (v *slotView) FrontRQD() (int64, bool)    { return int64(v.rqd), v.rqdOK }
+
 // Drive is Run against an existing PPS (so callers can inject plane
 // failures or inspect internals afterwards). The PPS must be fresh (slot -1).
 func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
@@ -86,12 +134,20 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		end = opts.Horizon
 	}
 
+	if opts.Tracer != nil {
+		pps.SetTracer(opts.Tracer)
+	}
 	sh := shadow.New(cfg.N)
 	st := cell.NewStamper()
 	rec := metrics.NewRecorder()
 	var vd *traffic.Validator
 	if opts.Validate {
 		vd = traffic.NewValidator(cfg.N)
+	}
+	probing := len(opts.Probes) > 0
+	var view *slotView
+	if probing {
+		view = &slotView{pps: pps, sh: sh}
 	}
 
 	var buf []traffic.Arrival
@@ -130,6 +186,21 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		for _, d := range shDeps {
 			rec.ShadowDepart(d)
 		}
+		if probing {
+			// Probes sample after the mux phase of the slot (all pulls and
+			// departures applied), so series align with departure-time
+			// accounting — see DESIGN.md §7.
+			view.slot = slot
+			view.rqd, view.rqdOK = 0, false
+			for _, d := range deps {
+				if q, ok := rec.RQD(d.Seq); ok && (!view.rqdOK || q > view.rqd) {
+					view.rqd, view.rqdOK = q, true
+				}
+			}
+			for _, pb := range opts.Probes {
+				pb.Sample(view)
+			}
+		}
 	}
 	if !pps.Drained() || !sh.Drained() {
 		return Result{}, fmt.Errorf("harness: not drained after %d slots (pps backlog %d, shadow backlog %d)",
@@ -141,13 +212,69 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		PeakPlaneQueue: pps.PeakPlaneQueue(),
 		Slots:          slot,
 		AlgorithmName:  pps.Algorithm().Name(),
+		TraceEvents:    opts.Tracer.Events(),
 	}
 	if vd != nil {
 		res.Burstiness = vd.Burstiness()
 	}
-	res.Utilization = make([]float64, cfg.N)
-	for j := 0; j < cfg.N; j++ {
-		res.Utilization[j] = pps.Output(cell.Port(j)).Utilization()
+	if opts.Utilization {
+		res.Utilization = make([]float64, cfg.N)
+		for j := 0; j < cfg.N; j++ {
+			res.Utilization[j] = pps.Output(cell.Port(j)).Utilization()
+		}
+	}
+	if probing {
+		res.Series = obs.CollectSeries(opts.Probes)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Counter("harness_runs").Inc()
+		m.Counter("harness_slots").Add(int64(slot))
+		m.Counter("harness_cells").Add(int64(res.Report.Cells))
+		m.Counter("harness_trace_events").Add(int64(res.TraceEvents))
+		m.Gauge("harness_last_peak_plane_queue").Set(int64(res.PeakPlaneQueue))
+		m.Histogram("harness_max_rqd", 8, 64).Add(int64(res.Report.MaxRQD))
 	}
 	return res, nil
+}
+
+// String renders the full result as a small multi-line report, so CLIs and
+// examples share one format instead of hand-formatting fields.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm=%s slots=%d peakPlaneQueue=%d", r.AlgorithmName, r.Slots, r.PeakPlaneQueue)
+	if r.Burstiness > 0 {
+		fmt.Fprintf(&b, " B=%d", r.Burstiness)
+	}
+	fmt.Fprintf(&b, "\n%s", r.Report)
+	fmt.Fprintf(&b, "\nstage wait mean/max: input %.2f/%d plane %.2f/%d output %.2f/%d",
+		r.Report.MeanInputWait, r.Report.MaxInputWait,
+		r.Report.MeanPlaneWait, r.Report.MaxPlaneWait,
+		r.Report.MeanOutputWait, r.Report.MaxOutputWait)
+	if len(r.Utilization) > 0 {
+		min, mean, active := 1.0, 0.0, 0
+		for _, u := range r.Utilization {
+			if u == 0 {
+				continue
+			}
+			active++
+			mean += u
+			if u < min {
+				min = u
+			}
+		}
+		if active > 0 {
+			fmt.Fprintf(&b, "\nutilization: active=%d mean=%.4f min=%.4f", active, mean/float64(active), min)
+		}
+	}
+	if len(r.Series) > 0 {
+		pts := 0
+		for _, s := range r.Series {
+			pts += s.Len()
+		}
+		fmt.Fprintf(&b, "\nseries: %d (%d points)", len(r.Series), pts)
+	}
+	if r.TraceEvents > 0 {
+		fmt.Fprintf(&b, "\ntrace events: %d", r.TraceEvents)
+	}
+	return b.String()
 }

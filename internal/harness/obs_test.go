@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/fabric"
+	"ppsim/internal/obs"
+	"ppsim/internal/traffic"
+)
+
+func seriesByName(series []*obs.Series, name string) *obs.Series {
+	for _, s := range series {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestProbesMatchRunResult cross-checks the probe series against the
+// end-of-run aggregates of the same execution: the cumulative
+// plane_peak_queue series must end at Result.PeakPlaneQueue, and with
+// stride 1 every slot is sampled, so series length equals Result.Slots.
+func TestProbesMatchRunResult(t *testing.T) {
+	cfg := fabric.Config{N: 8, K: 4, RPrime: 2, CheckInvariants: true}
+	src := &traffic.Flood{N: 8, Out: 0, Until: 16}
+	probes := obs.StandardProbes(cfg.N, cfg.K, 1, 1<<16)
+	res, err := Run(cfg, rrFactory, src, Options{Probes: probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no series collected")
+	}
+	peak := seriesByName(res.Series, "plane_peak_queue")
+	if peak == nil {
+		t.Fatal("plane_peak_queue series missing")
+	}
+	last, ok := peak.Last()
+	if !ok || int(last.Value) != res.PeakPlaneQueue {
+		t.Errorf("final plane_peak_queue sample = %v, want %d", last.Value, res.PeakPlaneQueue)
+	}
+	if cell.Time(peak.Len()) != res.Slots {
+		t.Errorf("series has %d samples, want one per slot (%d)", peak.Len(), res.Slots)
+	}
+	// Flood sends every cell to output 0, so any plane's total backlog is
+	// also its per-output backlog and can never exceed the recorded peak.
+	for k := 0; k < cfg.K; k++ {
+		s := seriesByName(res.Series, "plane_backlog["+string(rune('0'+k))+"]")
+		if s == nil {
+			t.Fatalf("plane_backlog[%d] series missing", k)
+		}
+		if max, ok := s.Max(); ok && int(max.Value) > res.PeakPlaneQueue {
+			t.Errorf("plane %d backlog %g exceeds PeakPlaneQueue %d", k, max.Value, res.PeakPlaneQueue)
+		}
+	}
+	// In-flight series drain to zero at the end of the run.
+	for _, name := range []string{"pps_in_flight", "shadow_in_flight"} {
+		s := seriesByName(res.Series, name)
+		if last, ok := s.Last(); !ok || last.Value != 0 {
+			t.Errorf("%s final sample = %v, want 0 (drained)", name, last.Value)
+		}
+	}
+}
+
+// TestTracerOrderingUnderSlotLoop checks the event stream is slot-ordered
+// and per-cell stage-ordered: arrival <= dispatch <= plane-enqueue <=
+// mux-pull <= depart, with every departed cell tracing all five stages.
+func TestTracerOrderingUnderSlotLoop(t *testing.T) {
+	cfg := fabric.Config{N: 4, K: 2, RPrime: 2, CheckInvariants: true}
+	tr := traffic.NewTrace()
+	for s := cell.Time(0); s < 8; s++ {
+		tr.MustAdd(s, cell.Port(s%4), cell.Port((s+1)%4))
+	}
+	ring := obs.NewRingSink(1 << 12)
+	res, err := Run(cfg, rrFactory, tr, Options{Tracer: obs.NewTracer(ring)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := ring.Events()
+	if res.TraceEvents != uint64(len(evs)) {
+		t.Errorf("TraceEvents = %d, ring holds %d", res.TraceEvents, len(evs))
+	}
+	wantPerCell := []obs.EventKind{obs.EvArrival, obs.EvDispatch, obs.EvPlaneEnqueue, obs.EvMuxPull, obs.EvDepart}
+	stages := map[uint64][]obs.Event{}
+	lastT := cell.Time(-1)
+	for _, ev := range evs {
+		if ev.T < lastT {
+			t.Fatalf("event at slot %d after slot %d", ev.T, lastT)
+		}
+		lastT = ev.T
+		stages[ev.Seq] = append(stages[ev.Seq], ev)
+	}
+	if len(stages) != 8 {
+		t.Fatalf("traced %d cells, want 8", len(stages))
+	}
+	for seq, sts := range stages {
+		if len(sts) != len(wantPerCell) {
+			t.Fatalf("cell %d traced %d stages, want %d: %+v", seq, len(sts), len(wantPerCell), sts)
+		}
+		for i, ev := range sts {
+			if ev.Kind != wantPerCell[i] {
+				t.Errorf("cell %d stage %d = %v, want %v", seq, i, ev.Kind, wantPerCell[i])
+			}
+			if i > 0 && ev.T < sts[i-1].T {
+				t.Errorf("cell %d: %v at slot %d before %v at %d", seq, ev.Kind, ev.T, sts[i-1].Kind, sts[i-1].T)
+			}
+		}
+	}
+}
+
+// TestTracerRecordsViolations fails a plane and checks the violation event
+// reaches the sink before the run errors.
+func TestTracerRecordsViolations(t *testing.T) {
+	cfg := fabric.Config{N: 2, K: 2, RPrime: 1, CheckInvariants: true}
+	tr := traffic.NewTrace()
+	tr.MustAdd(0, 0, 1)
+	ring := obs.NewRingSink(16)
+	_, err := Run(cfg, rrFactory, tr, Options{
+		FailPlanes: []cell.Plane{0}, // fresh rr dispatches to plane 0 first
+		Tracer:     obs.NewTracer(ring),
+	})
+	if err == nil {
+		t.Fatal("dispatch into a failed plane must error")
+	}
+	found := false
+	for _, ev := range ring.Events() {
+		if ev.Kind == obs.EvViolation && ev.Note != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no violation event traced; got %+v", ring.Events())
+	}
+}
+
+// TestUtilizationOptIn: without the flag the per-output scan is skipped.
+func TestUtilizationOptIn(t *testing.T) {
+	cfg := fabric.Config{N: 4, K: 2, RPrime: 1, CheckInvariants: true}
+	tr := traffic.NewTrace()
+	tr.MustAdd(0, 0, 1)
+	res, err := Run(cfg, rrFactory, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization != nil {
+		t.Errorf("Utilization computed without opt-in: %v", res.Utilization)
+	}
+	res, err = Run(cfg, rrFactory, tr, Options{Utilization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization) != cfg.N {
+		t.Errorf("opt-in Utilization has %d entries, want %d", len(res.Utilization), cfg.N)
+	}
+}
+
+// TestRunFillsMetricsRegistry checks the cumulative telemetry counters.
+func TestRunFillsMetricsRegistry(t *testing.T) {
+	cfg := fabric.Config{N: 4, K: 2, RPrime: 1, CheckInvariants: true}
+	reg := obs.NewRegistry()
+	for i := 0; i < 2; i++ {
+		tr := traffic.NewTrace()
+		tr.MustAdd(0, 0, 1)
+		tr.MustAdd(1, 1, 2)
+		if _, err := Run(cfg, rrFactory, tr, Options{Metrics: reg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("harness_runs").Value(); got != 2 {
+		t.Errorf("harness_runs = %d, want 2", got)
+	}
+	if got := reg.Counter("harness_cells").Value(); got != 4 {
+		t.Errorf("harness_cells = %d, want 4", got)
+	}
+	if reg.Counter("harness_slots").Value() == 0 {
+		t.Error("harness_slots not recorded")
+	}
+}
+
+// TestResultString covers the pretty-printer paths.
+func TestResultString(t *testing.T) {
+	cfg := fabric.Config{N: 4, K: 4, RPrime: 2, CheckInvariants: true}
+	tr := traffic.NewTrace()
+	for s := cell.Time(0); s < 6; s++ {
+		tr.MustAdd(s, cell.Port(s%4), 0)
+	}
+	probes := obs.StandardProbes(cfg.N, cfg.K, 1, 64)
+	ringTr := obs.NewTracer(obs.NewRingSink(1 << 10))
+	res, err := Run(cfg, rrFactory, tr, Options{
+		Validate: true, Utilization: true, Probes: probes, Tracer: ringTr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	for _, want := range []string{"algorithm=rr", "peakPlaneQueue=", "stage wait", "utilization:", "series:", "trace events:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Result.String() missing %q:\n%s", want, out)
+		}
+	}
+}

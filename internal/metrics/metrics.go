@@ -138,6 +138,20 @@ func (r *Recorder) tryMatch(seq uint64) {
 // Matched reports how many cells have departed both switches.
 func (r *Recorder) Matched() uint64 { return r.matched }
 
+// RQD returns the relative queuing delay of cell seq; ok is false until
+// both switches have reported its departure. The per-slot front-RQD probe
+// uses it to sample the delay of the departing front as the run unfolds.
+func (r *Recorder) RQD(seq uint64) (cell.Time, bool) {
+	if uint64(len(r.shadowDep)) <= seq || uint64(len(r.ppsDep)) <= seq {
+		return 0, false
+	}
+	sd, pd := r.shadowDep[seq], r.ppsDep[seq]
+	if sd == cell.None || pd == cell.None {
+		return 0, false
+	}
+	return pd - sd, true
+}
+
 // Report summarizes an execution.
 type Report struct {
 	// Cells is the number of matched cells.

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+// fakeView is a scriptable SlotView.
+type fakeView struct {
+	slot     cell.Time
+	n, k     int
+	backlog  []int
+	peak     []int
+	depth    []int
+	outBuf   []int
+	pulls    []int64
+	dispatch []uint64
+	pps, sh  int
+	rqd      int64
+	rqdOK    bool
+}
+
+func (v *fakeView) Slot() cell.Time           { return v.slot }
+func (v *fakeView) Ports() int                { return v.n }
+func (v *fakeView) Planes() int               { return v.k }
+func (v *fakeView) PlaneBacklog(k int) int    { return v.backlog[k] }
+func (v *fakeView) PlanePeak(k int) int       { return v.peak[k] }
+func (v *fakeView) InputDepth(i int) int      { return v.depth[i] }
+func (v *fakeView) OutputBuffered(j int) int  { return v.outBuf[j] }
+func (v *fakeView) OutputPulls(j int) int64   { return v.pulls[j] }
+func (v *fakeView) DispatchedTo(k int) uint64 { return v.dispatch[k] }
+func (v *fakeView) PPSInFlight() int          { return v.pps }
+func (v *fakeView) ShadowInFlight() int       { return v.sh }
+func (v *fakeView) FrontRQD() (int64, bool)   { return v.rqd, v.rqdOK }
+
+func newFakeView(n, k int) *fakeView {
+	return &fakeView{
+		n: n, k: k,
+		backlog:  make([]int, k),
+		peak:     make([]int, k),
+		depth:    make([]int, n),
+		outBuf:   make([]int, n),
+		pulls:    make([]int64, n),
+		dispatch: make([]uint64, k),
+	}
+}
+
+func seriesByName(probes []Probe, name string) *Series {
+	for _, s := range CollectSeries(probes) {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestStandardProbesNamesAndCount(t *testing.T) {
+	probes := StandardProbes(4, 3, 1, 16)
+	all := CollectSeries(probes)
+	want := []string{
+		"plane_backlog[0]", "plane_backlog[1]", "plane_backlog[2]",
+		"plane_peak_queue",
+		"input_depth_total", "input_depth_max",
+		"mux_pulls",
+		"front_rqd",
+		"dispatch_imbalance",
+		"pps_in_flight", "shadow_in_flight",
+	}
+	if len(all) != len(want) {
+		t.Fatalf("got %d series, want %d", len(all), len(want))
+	}
+	for i, s := range all {
+		if s.Name() != want[i] {
+			t.Errorf("series[%d] = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}
+
+func TestPlaneAndInputProbes(t *testing.T) {
+	probes := StandardProbes(2, 2, 1, 16)
+	v := newFakeView(2, 2)
+	v.slot = 0
+	v.backlog = []int{3, 1}
+	v.peak = []int{2, 5}
+	v.depth = []int{4, 1}
+	for _, p := range probes {
+		p.Sample(v)
+	}
+	if s := seriesByName(probes, "plane_backlog[0]"); s.Points()[0].Value != 3 {
+		t.Errorf("plane_backlog[0] = %g, want 3", s.Points()[0].Value)
+	}
+	if s := seriesByName(probes, "plane_peak_queue"); s.Points()[0].Value != 5 {
+		t.Errorf("plane_peak_queue = %g, want 5", s.Points()[0].Value)
+	}
+	if s := seriesByName(probes, "input_depth_total"); s.Points()[0].Value != 5 {
+		t.Errorf("input_depth_total = %g, want 5", s.Points()[0].Value)
+	}
+	if s := seriesByName(probes, "input_depth_max"); s.Points()[0].Value != 4 {
+		t.Errorf("input_depth_max = %g, want 4", s.Points()[0].Value)
+	}
+}
+
+// TestMuxPullProbeDeltas checks the pull probe reports rates (deltas of the
+// cumulative count), including across decimated strides.
+func TestMuxPullProbeDeltas(t *testing.T) {
+	p := NewMuxPullProbe(2, 16)
+	v := newFakeView(2, 1)
+	cum := []int64{0, 3, 5, 9, 12}
+	for slot, c := range cum {
+		v.slot = cell.Time(slot)
+		v.pulls = []int64{c, 0}
+		p.Sample(v)
+	}
+	pts := p.Series()[0].Points()
+	// Sampled at slots 0, 2, 4: deltas 0, 5-0, 12-5.
+	want := []float64{0, 5, 7}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for i, w := range want {
+		if pts[i].Value != w {
+			t.Errorf("pts[%d] = %g, want %g", i, pts[i].Value, w)
+		}
+	}
+}
+
+func TestFrontRQDProbeSkipsIdleSlots(t *testing.T) {
+	p := NewFrontRQDProbe(1, 16)
+	v := newFakeView(1, 1)
+	v.slot, v.rqdOK = 0, false
+	p.Sample(v)
+	v.slot, v.rqd, v.rqdOK = 1, 6, true
+	p.Sample(v)
+	pts := p.Series()[0].Points()
+	if len(pts) != 1 || pts[0].Slot != 1 || pts[0].Value != 6 {
+		t.Errorf("front_rqd = %+v, want one point (1, 6)", pts)
+	}
+}
+
+func TestDispatchImbalanceProbe(t *testing.T) {
+	p := NewDispatchImbalanceProbe(1, 16)
+	v := newFakeView(1, 4)
+	v.dispatch = []uint64{10, 2, 2, 2} // total 16, ideal 4, max 10
+	p.Sample(v)
+	if got := p.Series()[0].Points()[0].Value; got != 6 {
+		t.Errorf("imbalance = %g, want 6", got)
+	}
+}
+
+func TestInFlightProbe(t *testing.T) {
+	p := NewInFlightProbe(1, 16)
+	v := newFakeView(1, 1)
+	v.pps, v.sh = 9, 4
+	p.Sample(v)
+	if got := p.Series()[0].Points()[0].Value; got != 9 {
+		t.Errorf("pps_in_flight = %g, want 9", got)
+	}
+	if got := p.Series()[1].Points()[0].Value; got != 4 {
+		t.Errorf("shadow_in_flight = %g, want 4", got)
+	}
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (d < 0 panics: counters only go up).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can move in both directions. Safe for concurrent
+// use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Hist is a fixed-bucket histogram over non-negative integer samples:
+// bucket i covers [i*width, (i+1)*width); negative samples count as
+// underflow, samples past the last bucket as overflow. Safe for concurrent
+// use.
+type Hist struct {
+	width     int64
+	buckets   []atomic.Int64
+	underflow atomic.Int64
+	overflow  atomic.Int64
+	total     atomic.Int64
+}
+
+func newHist(width int64, nbuckets int) *Hist {
+	if width <= 0 || nbuckets <= 0 {
+		panic("obs: histogram width and bucket count must be positive")
+	}
+	return &Hist{width: width, buckets: make([]atomic.Int64, nbuckets)}
+}
+
+// Add records one sample.
+func (h *Hist) Add(v int64) {
+	h.total.Add(1)
+	if v < 0 {
+		h.underflow.Add(1)
+		return
+	}
+	b := v / h.width
+	if b >= int64(len(h.buckets)) {
+		h.overflow.Add(1)
+		return
+	}
+	h.buckets[b].Add(1)
+}
+
+// Total reports the number of recorded samples.
+func (h *Hist) Total() int64 { return h.total.Load() }
+
+// Bucket reports the count in bucket i.
+func (h *Hist) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// Width reports the bucket width.
+func (h *Hist) Width() int64 { return h.width }
+
+// Buckets reports the number of buckets.
+func (h *Hist) Buckets() int { return len(h.buckets) }
+
+// Registry names and owns a set of metrics. Lookups get-or-create, so
+// instrumentation sites never need registration boilerplate; a name reused
+// with a different kind panics (a programming error, not a runtime
+// condition). Safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]interface{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]interface{})}
+}
+
+func (r *Registry) lookup(name string, mk func() interface{}) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return e
+	}
+	e := mk()
+	r.entries[name] = e
+	return e
+}
+
+// Counter returns the counter with this name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	e := r.lookup(name, func() interface{} { return &Counter{} })
+	c, ok := e.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is a %T, not a counter", name, e))
+	}
+	return c
+}
+
+// Gauge returns the gauge with this name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	e := r.lookup(name, func() interface{} { return &Gauge{} })
+	g, ok := e.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is a %T, not a gauge", name, e))
+	}
+	return g
+}
+
+// Histogram returns the histogram with this name, creating it with the
+// given geometry if needed (the geometry of an existing histogram wins).
+func (r *Registry) Histogram(name string, width int64, nbuckets int) *Hist {
+	e := r.lookup(name, func() interface{} { return newHist(width, nbuckets) })
+	h, ok := e.(*Hist)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is a %T, not a histogram", name, e))
+	}
+	return h
+}
+
+// MetricSnapshot is the frozen value of one metric.
+type MetricSnapshot struct {
+	Name string
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string
+	// Value is the counter/gauge value; for histograms, the sample total.
+	Value int64
+	// Histogram-only fields.
+	Width     int64
+	Buckets   []int64
+	Underflow int64
+	Overflow  int64
+}
+
+// Snapshot is a point-in-time copy of every metric, sorted by name —
+// deterministic regardless of registration or update order.
+type Snapshot []MetricSnapshot
+
+// Snapshot freezes the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	entries := make(map[string]interface{}, len(r.entries))
+	for n, e := range r.entries {
+		entries[n] = e
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	snap := make(Snapshot, 0, len(names))
+	for _, n := range names {
+		switch m := entries[n].(type) {
+		case *Counter:
+			snap = append(snap, MetricSnapshot{Name: n, Kind: "counter", Value: m.Value()})
+		case *Gauge:
+			snap = append(snap, MetricSnapshot{Name: n, Kind: "gauge", Value: m.Value()})
+		case *Hist:
+			ms := MetricSnapshot{
+				Name: n, Kind: "histogram",
+				Value:     m.Total(),
+				Width:     m.width,
+				Buckets:   make([]int64, len(m.buckets)),
+				Underflow: m.underflow.Load(),
+				Overflow:  m.overflow.Load(),
+			}
+			for i := range m.buckets {
+				ms.Buckets[i] = m.buckets[i].Load()
+			}
+			snap = append(snap, ms)
+		}
+	}
+	return snap
+}
+
+// WriteText renders the snapshot one metric per line, in name order — the
+// format served by ppsexp's -debug-addr /metrics endpoint.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, m := range s {
+		switch m.Kind {
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "%s_total %d\n", m.Name, m.Value); err != nil {
+				return err
+			}
+			for i, c := range m.Buckets {
+				if c == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%d} %d\n", m.Name, int64(i+1)*m.Width, c); err != nil {
+					return err
+				}
+			}
+			if m.Overflow > 0 {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=inf} %d\n", m.Name, m.Overflow); err != nil {
+					return err
+				}
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cells")
+	c.Add(3)
+	c.Inc()
+	if r.Counter("cells").Value() != 4 {
+		t.Errorf("counter = %d, want 4", r.Counter("cells").Value())
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if r.Gauge("depth").Value() != 5 {
+		t.Errorf("gauge = %d, want 5", r.Gauge("depth").Value())
+	}
+	h := r.Histogram("rqd", 4, 8)
+	for _, v := range []int64{-1, 0, 3, 4, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("hist total = %d, want 5", h.Total())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(1) != 1 {
+		t.Errorf("buckets = %d,%d, want 2,1", h.Bucket(0), h.Bucket(1))
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestCounterDecrementPanics(t *testing.T) {
+	var c Counter
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter increment must panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+// TestSnapshotDeterminism registers metrics in scrambled order and checks
+// two snapshots agree and come out name-sorted.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Add(1)
+	}
+	r.Gauge("beta").Set(9)
+	r.Histogram("hist", 2, 4).Add(3)
+
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if len(s1) != 5 || len(s2) != 5 {
+		t.Fatalf("snapshot sizes %d, %d, want 5", len(s1), len(s2))
+	}
+	wantOrder := []string{"alpha", "beta", "hist", "mid", "zeta"}
+	for i, m := range s1 {
+		if m.Name != wantOrder[i] {
+			t.Errorf("snapshot[%d] = %q, want %q", i, m.Name, wantOrder[i])
+		}
+		if s2[i].Name != m.Name || s2[i].Value != m.Value || s2[i].Kind != m.Kind {
+			t.Errorf("snapshots differ at %d: %+v vs %+v", i, m, s2[i])
+		}
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(2)
+	r.Histogram("ms", 10, 4).Add(15)
+	r.Histogram("ms", 10, 4).Add(999)
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"runs 2\n", "ms_total 2\n", "ms_bucket{le=20} 1\n", "ms_bucket{le=inf} 1\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h", 1, 4).Add(int64(j % 4))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", 1, 4).Total(); got != 8000 {
+		t.Errorf("hist total = %d, want 8000", got)
+	}
+}

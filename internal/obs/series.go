@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ppsim/internal/cell"
+)
+
+// DefaultSeriesCapacity bounds a series when the caller passes capacity <= 0.
+const DefaultSeriesCapacity = 1 << 16
+
+// Point is one sampled value of a time series.
+type Point struct {
+	Slot  cell.Time
+	Value float64
+}
+
+// Series is a named, ring-buffered time series with stride decimation: only
+// slots divisible by the stride are recorded, and once capacity points are
+// held the oldest are overwritten. Both knobs keep million-slot soak runs
+// bounded. A Series is driven from one goroutine (the run loop).
+type Series struct {
+	name    string
+	stride  cell.Time
+	cap     int
+	pts     []Point
+	start   int
+	dropped int
+}
+
+// NewSeries returns an empty series. stride < 1 is treated as 1 (sample
+// every slot); capacity <= 0 uses DefaultSeriesCapacity.
+func NewSeries(name string, stride cell.Time, capacity int) *Series {
+	if stride < 1 {
+		stride = 1
+	}
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &Series{name: name, stride: stride, cap: capacity}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Stride returns the decimation stride.
+func (s *Series) Stride() cell.Time { return s.stride }
+
+// Observe records value v for slot, unless the slot is decimated away.
+func (s *Series) Observe(slot cell.Time, v float64) {
+	if slot%s.stride != 0 {
+		return
+	}
+	if len(s.pts) < s.cap {
+		s.pts = append(s.pts, Point{Slot: slot, Value: v})
+		return
+	}
+	s.pts[s.start] = Point{Slot: slot, Value: v}
+	s.start = (s.start + 1) % s.cap
+	s.dropped++
+}
+
+// Len reports the number of retained points.
+func (s *Series) Len() int { return len(s.pts) }
+
+// Dropped reports how many points were overwritten by the ring.
+func (s *Series) Dropped() int { return s.dropped }
+
+// Points returns the retained points in chronological order.
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, len(s.pts))
+	out = append(out, s.pts[s.start:]...)
+	out = append(out, s.pts[:s.start]...)
+	return out
+}
+
+// Last returns the most recent point; ok is false when empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	i := s.start - 1
+	if i < 0 {
+		i = len(s.pts) - 1
+	}
+	return s.pts[i], true
+}
+
+// Max returns the retained point with the largest value (earliest wins on
+// ties); ok is false when empty.
+func (s *Series) Max() (Point, bool) {
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	best := Point{}
+	found := false
+	for _, p := range s.Points() {
+		if !found || p.Value > best.Value {
+			best, found = p, true
+		}
+	}
+	return best, true
+}
+
+// WriteSeriesCSV streams the series in long format — header
+// "series,slot,value", one row per point — the format ppsdiag and ppssim
+// emit for plotting.
+func WriteSeriesCSV(w io.Writer, series []*Series) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "series,slot,value"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		name := s.Name()
+		for _, p := range s.Points() {
+			if _, err := fmt.Fprintf(bw, "%s,%d,%g\n", name, p.Slot, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonSeries is the stable JSON schema for series export.
+type jsonSeries struct {
+	Series string       `json:"series"`
+	Points [][2]float64 `json:"points"` // [slot, value]
+}
+
+// WriteSeriesJSON writes the series as a JSON array of
+// {"series": name, "points": [[slot, value], ...]} objects, in input order.
+func WriteSeriesJSON(w io.Writer, series []*Series) error {
+	out := make([]jsonSeries, 0, len(series))
+	for _, s := range series {
+		js := jsonSeries{Series: s.Name(), Points: make([][2]float64, 0, s.Len())}
+		for _, p := range s.Points() {
+			js.Points = append(js.Points, [2]float64{float64(p.Slot), p.Value})
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func TestSeriesStrideDecimation(t *testing.T) {
+	s := NewSeries("x", 3, 100)
+	for slot := cell.Time(0); slot <= 10; slot++ {
+		s.Observe(slot, float64(slot))
+	}
+	pts := s.Points()
+	wantSlots := []cell.Time{0, 3, 6, 9}
+	if len(pts) != len(wantSlots) {
+		t.Fatalf("len = %d, want %d (%v)", len(pts), len(wantSlots), pts)
+	}
+	for i, p := range pts {
+		if p.Slot != wantSlots[i] {
+			t.Errorf("pts[%d].Slot = %d, want %d", i, p.Slot, wantSlots[i])
+		}
+		if p.Value != float64(wantSlots[i]) {
+			t.Errorf("pts[%d].Value = %g, want %g", i, p.Value, float64(wantSlots[i]))
+		}
+	}
+}
+
+// TestSeriesRingAtStrideBoundaries drives a strided series past its ring
+// capacity and checks that exactly the oldest samples fall out and order is
+// preserved across the wrap point.
+func TestSeriesRingAtStrideBoundaries(t *testing.T) {
+	s := NewSeries("x", 2, 4)
+	// Slots 0..19 with stride 2 record 0,2,...,18: ten samples into a ring
+	// of four.
+	for slot := cell.Time(0); slot < 20; slot++ {
+		s.Observe(slot, float64(slot*10))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", s.Dropped())
+	}
+	pts := s.Points()
+	wantSlots := []cell.Time{12, 14, 16, 18}
+	for i, p := range pts {
+		if p.Slot != wantSlots[i] || p.Value != float64(wantSlots[i]*10) {
+			t.Errorf("pts[%d] = %+v, want slot %d", i, p, wantSlots[i])
+		}
+	}
+	if last, ok := s.Last(); !ok || last.Slot != 18 {
+		t.Errorf("Last = %+v/%v, want slot 18", last, ok)
+	}
+	if max, ok := s.Max(); !ok || max.Slot != 18 {
+		t.Errorf("Max = %+v/%v, want slot 18", max, ok)
+	}
+}
+
+func TestSeriesDefaults(t *testing.T) {
+	s := NewSeries("d", 0, -5)
+	if s.Stride() != 1 {
+		t.Errorf("stride = %d, want 1", s.Stride())
+	}
+	s.Observe(1, 5) // stride 1 records every slot
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if _, ok := NewSeries("e", 1, 1).Last(); ok {
+		t.Error("empty series must report no last point")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	a := NewSeries("a", 1, 10)
+	a.Observe(0, 1.5)
+	a.Observe(1, 2)
+	b := NewSeries("b", 1, 10)
+	b.Observe(0, 3)
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, []*Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,slot,value\na,0,1.5\na,1,2\nb,0,3\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteSeriesJSON(t *testing.T) {
+	a := NewSeries("a", 1, 10)
+	a.Observe(0, 1)
+	a.Observe(1, 4)
+	var sb strings.Builder
+	if err := WriteSeriesJSON(&sb, []*Series{a}); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Series string       `json:"series"`
+		Points [][2]float64 `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("invalid JSON %q: %v", sb.String(), err)
+	}
+	if len(out) != 1 || out[0].Series != "a" || len(out[0].Points) != 2 ||
+		out[0].Points[1] != [2]float64{1, 4} {
+		t.Errorf("JSON round-trip = %+v", out)
+	}
+}

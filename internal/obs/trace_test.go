@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{T: 1, Kind: EvArrival}) // must not panic
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if tr.Events() != 0 {
+		t.Error("nil tracer counts events")
+	}
+}
+
+func TestNullSinkTracerDisabled(t *testing.T) {
+	tr := NewTracer(nil)
+	if tr.Enabled() {
+		t.Error("null-sink tracer must report disabled so hot paths skip event construction")
+	}
+	tr.Emit(Event{}) // still legal, just discarded
+	if tr.Events() != 1 {
+		t.Errorf("Events = %d, want 1", tr.Events())
+	}
+}
+
+func TestRingSinkOrderAndWrap(t *testing.T) {
+	ring := NewRingSink(3)
+	tr := NewTracer(ring)
+	if !tr.Enabled() {
+		t.Fatal("ring tracer must be enabled")
+	}
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{T: cell.Time(i), Kind: EvArrival, Seq: uint64(i)})
+	}
+	evs := ring.Events()
+	if len(evs) != 3 || ring.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", len(evs), ring.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+2) {
+			t.Errorf("evs[%d].Seq = %d, want %d", i, ev.Seq, i+2)
+		}
+	}
+	if tr.Events() != 5 {
+		t.Errorf("Events = %d, want 5", tr.Events())
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	want := map[EventKind]string{
+		EvArrival:      "arrival",
+		EvDispatch:     "dispatch",
+		EvPlaneEnqueue: "plane-enqueue",
+		EvMuxPull:      "mux-pull",
+		EvDepart:       "depart",
+		EvViolation:    "violation",
+		EventKind(99):  "unknown",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+}
+
+// TestJSONLSinkSchema checks the documented JSONL trace schema field by
+// field.
+func TestJSONLSinkSchema(t *testing.T) {
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	tr := NewTracer(sink)
+	tr.Emit(Event{T: 7, Kind: EvDispatch, Seq: 42, In: 3, Out: 5, Plane: 1})
+	tr.Emit(Event{T: 8, Kind: EvViolation, Plane: cell.NoPlane, Note: "boom"})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), sb.String())
+	}
+	var first map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	for k, want := range map[string]interface{}{
+		"t": 7.0, "kind": "dispatch", "seq": 42.0, "in": 3.0, "out": 5.0, "plane": 1.0,
+	} {
+		if first[k] != want {
+			t.Errorf("line1[%q] = %v, want %v", k, first[k], want)
+		}
+	}
+	if _, hasNote := first["note"]; hasNote {
+		t.Error("ordinary events must omit the note field")
+	}
+	var second map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if second["kind"] != "violation" || second["note"] != "boom" || second["plane"] != -1.0 {
+		t.Errorf("violation line = %v", second)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestJSONLSinkLatchesError(t *testing.T) {
+	fw := &failWriter{}
+	sink := NewJSONLSink(fw)
+	sink.Emit(Event{})
+	sink.Emit(Event{})
+	if sink.Err() == nil {
+		t.Fatal("expected latched error")
+	}
+	if fw.n != 1 {
+		t.Errorf("writer called %d times, want 1 (error must latch)", fw.n)
+	}
+}

@@ -1,0 +1,68 @@
+package ppsim
+
+import (
+	"io"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/obs"
+)
+
+// Public names for the observability layer (internal/obs). Probes and
+// tracers plug into Options.Probes / Options.Tracer; see the README's
+// "Observability" section for the probe list and the JSONL trace schema.
+type (
+	// Probe samples the switch once per slot (after the mux phase) into
+	// ring-buffered time series.
+	Probe = obs.Probe
+	// Series is one named, ring-buffered time series with stride
+	// decimation.
+	Series = obs.Series
+	// SeriesPoint is one (slot, value) sample.
+	SeriesPoint = obs.Point
+	// Tracer receives the structured event stream from the fabric.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// TraceSink consumes trace events (ring, JSONL, or null).
+	TraceSink = obs.Sink
+	// RingSink retains the last N trace events in memory.
+	RingSink = obs.RingSink
+	// MetricsRegistry names and owns counters, gauges and histograms;
+	// plug one into Options.Metrics for cumulative run telemetry.
+	MetricsRegistry = obs.Registry
+)
+
+// StandardProbes returns the full probe set for an N-port, K-plane switch:
+// per-plane backlog, cumulative peak plane queue, input buffer depths, mux
+// pull rate, departing-front RQD, demux dispatch imbalance, and the
+// PPS-vs-shadow in-flight populations. stride decimates sampling (1 =
+// every slot); capacity bounds each series' ring (<= 0 uses the default).
+func StandardProbes(n, k int, stride Time, capacity int) []Probe {
+	return obs.StandardProbes(n, k, cell.Time(stride), capacity)
+}
+
+// NewJSONLTracer returns a tracer writing one JSON object per event to w.
+func NewJSONLTracer(w io.Writer) *Tracer {
+	return obs.NewTracer(obs.NewJSONLSink(w))
+}
+
+// NewRingTracer returns a tracer retaining the last capacity events, plus
+// the ring to read them back from.
+func NewRingTracer(capacity int) (*Tracer, *RingSink) {
+	ring := obs.NewRingSink(capacity)
+	return obs.NewTracer(ring), ring
+}
+
+// NewMetricsRegistry returns an empty, concurrency-safe metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteSeriesCSV streams series in long format ("series,slot,value").
+func WriteSeriesCSV(w io.Writer, series []*Series) error {
+	return obs.WriteSeriesCSV(w, series)
+}
+
+// WriteSeriesJSON writes series as a JSON array of
+// {"series": name, "points": [[slot, value], ...]} objects.
+func WriteSeriesJSON(w io.Writer, series []*Series) error {
+	return obs.WriteSeriesJSON(w, series)
+}

@@ -116,6 +116,9 @@ func Run(cfg Config, src Source, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// The public API always reports per-output utilization (its historical
+	// behavior); internal callers opt in per run.
+	opts.Utilization = true
 	return harness.Run(cfg.fabricConfig(), factory, src, opts)
 }
 
