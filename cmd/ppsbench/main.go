@@ -1,0 +1,240 @@
+// Command ppsbench runs the repository's fixed benchmark suite — bursty,
+// uniform and adversarial traffic at N in {8, 32, 128} and K in {2, 8} —
+// and writes a machine-readable BENCH_<rev>.json next to the working
+// directory. The committed BENCH_*.json files seed the repo's perf
+// trajectory: every PR that claims a speedup re-runs the suite and compares
+// slots/sec and allocs/slot against the checked-in baseline (see the
+// "Benchmarking" section of README.md).
+//
+// Examples:
+//
+//	ppsbench -rev pr2-after              # full suite, BENCH_pr2-after.json
+//	ppsbench -quick -rev ci -out bench   # short suite for CI artifacts
+//	ppsbench -filter bursty/n128         # one case, JSON to stdout too
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"ppsim"
+)
+
+// benchCase is one cell of the fixed suite matrix.
+type benchCase struct {
+	Name    string `json:"name"`
+	Traffic string `json:"traffic"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	RPrime  int64  `json:"rprime"`
+	Slots   int64  `json:"horizon_slots"`
+	Seed    int64  `json:"seed"`
+}
+
+// benchResult is the measured outcome of one case.
+type benchResult struct {
+	benchCase
+	RunSlots      int64   `json:"run_slots"`
+	Cells         uint64  `json:"cells"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SlotsPerSec   float64 `json:"slots_per_sec"`
+	CellsPerSec   float64 `json:"cells_per_sec"`
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+	BytesPerSlot  float64 `json:"bytes_per_slot"`
+	MaxRQD        int64   `json:"max_rqd"`
+}
+
+// benchFile is the stable schema of a BENCH_<rev>.json file.
+type benchFile struct {
+	Rev          string        `json:"rev"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	Quick        bool          `json:"quick"`
+	PeakRSSBytes int64         `json:"peak_rss_bytes"`
+	Results      []benchResult `json:"results"`
+}
+
+// suite returns the fixed benchmark matrix. horizon scales every case; the
+// quick suite divides it by 10 so CI can afford one iteration per case.
+func suite(horizon int64) []benchCase {
+	var cases []benchCase
+	for _, traffic := range []string{"bursty", "uniform", "adversarial"} {
+		for _, n := range []int{8, 32, 128} {
+			for _, k := range []int{2, 8} {
+				cases = append(cases, benchCase{
+					Name:    fmt.Sprintf("%s/n%d/k%d", traffic, n, k),
+					Traffic: traffic,
+					N:       n,
+					K:       k,
+					RPrime:  2,
+					Slots:   horizon,
+					Seed:    1,
+				})
+			}
+		}
+	}
+	return cases
+}
+
+// buildSource constructs the case's traffic over the existing generators:
+// uniform iid Bernoulli at load 0.6, bursty on/off at the same mean load,
+// and the full-rate cyclic permutation as the adversarial heaviest
+// admissible workload (rate exactly R per port, zero slack).
+func buildSource(c benchCase) (ppsim.Source, error) {
+	load := 0.6
+	switch c.Traffic {
+	case "uniform":
+		return ppsim.NewBernoulli(c.N, load, ppsim.Time(c.Slots), c.Seed), nil
+	case "bursty":
+		meanOn := 8.0
+		meanOff := meanOn * (1 - load) / load
+		return ppsim.NewOnOff(c.N, meanOn, meanOff, ppsim.Time(c.Slots), c.Seed)
+	case "adversarial":
+		perm := make([]ppsim.Port, c.N)
+		for i := range perm {
+			perm[i] = ppsim.Port((i + 1) % c.N)
+		}
+		return ppsim.NewPermutation(perm, ppsim.Time(c.Slots))
+	default:
+		return nil, fmt.Errorf("unknown traffic kind %q", c.Traffic)
+	}
+}
+
+// run executes one case and measures throughput and allocation rate.
+func run(c benchCase) (benchResult, error) {
+	src, err := buildSource(c)
+	if err != nil {
+		return benchResult{}, err
+	}
+	cfg := ppsim.Config{
+		N: c.N, K: c.K, RPrime: c.RPrime,
+		DisableChecks: true,
+		Algorithm:     ppsim.Algorithm{Name: "rr", Seed: c.Seed},
+	}
+	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := ppsim.Run(cfg, src, opts)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchResult{}, fmt.Errorf("%s: %w", c.Name, err)
+	}
+
+	slots := int64(res.Slots)
+	out := benchResult{
+		benchCase:   c,
+		RunSlots:    slots,
+		Cells:       res.Report.Cells,
+		WallSeconds: wall.Seconds(),
+		MaxRQD:      int64(res.Report.MaxRQD),
+	}
+	if wall > 0 {
+		out.SlotsPerSec = float64(slots) / wall.Seconds()
+		out.CellsPerSec = float64(res.Report.Cells) / wall.Seconds()
+	}
+	if slots > 0 {
+		out.AllocsPerSlot = float64(after.Mallocs-before.Mallocs) / float64(slots)
+		out.BytesPerSlot = float64(after.TotalAlloc-before.TotalAlloc) / float64(slots)
+	}
+	return out, nil
+}
+
+// peakRSS reads VmHWM from /proc/self/status (linux); 0 elsewhere.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		var kb int64
+		if _, err := fmt.Sscan(fields[1], &kb); err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+func main() {
+	var (
+		rev    = flag.String("rev", "dev", "revision label; output file is BENCH_<rev>.json")
+		outDir = flag.String("out", ".", "directory to write the JSON report into")
+		filter = flag.String("filter", "", "run only cases whose name contains this substring")
+		quick  = flag.Bool("quick", false, "short horizons (CI smoke run)")
+		slots  = flag.Int64("slots", 20000, "traffic horizon per case in slots")
+	)
+	flag.Parse()
+
+	horizon := *slots
+	if *quick {
+		horizon /= 10
+		if horizon < 100 {
+			horizon = 100
+		}
+	}
+
+	report := benchFile{
+		Rev:       *rev,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     *quick,
+	}
+	for _, c := range suite(horizon) {
+		if *filter != "" && !strings.Contains(c.Name, *filter) {
+			continue
+		}
+		res, err := run(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-22s slots=%-8d cells=%-9d %12.0f slots/s %10.1f allocs/slot\n",
+			res.Name, res.RunSlots, res.Cells, res.SlotsPerSec, res.AllocsPerSlot)
+		report.Results = append(report.Results, res)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "ppsbench: no cases matched filter", *filter)
+		os.Exit(2)
+	}
+	report.PeakRSSBytes = peakRSS()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*outDir, fmt.Sprintf("BENCH_%s.json", *rev))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

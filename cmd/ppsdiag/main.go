@@ -32,6 +32,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed (series mode)")
 		slots  = flag.Int64("slots", 2000, "traffic horizon in slots (series mode)")
 		stride = flag.Int64("stride", 1, "sample every stride-th slot (series mode)")
+		scap   = flag.Int64("cap", 0, "points retained per series, 0 = default ring capacity (series mode)")
 		format = flag.String("format", "csv", "series output format: csv or json")
 		out    = flag.String("out", "", "series output file (default stdout)")
 	)
@@ -39,6 +40,11 @@ func main() {
 
 	if *n <= 0 || *k <= 0 || *rprime < 1 {
 		fmt.Fprintln(os.Stderr, "ppsdiag: need n > 0, k > 0, rprime >= 1")
+		os.Exit(2)
+	}
+	if err := validateSeriesFlags(*stride, *scap); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsdiag:", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 	if !*series {
@@ -61,12 +67,26 @@ func main() {
 		Alg: *alg, Kind: *kind, Load: *load, Seed: *seed,
 		Slots:  ppsim.Time(*slots),
 		Stride: ppsim.Time(*stride),
+		Cap:    int(*scap),
 		Format: *format,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppsdiag:", err)
 		os.Exit(1)
 	}
+}
+
+// validateSeriesFlags rejects series knobs that obs.NewSeries would
+// silently coerce (stride < 1 -> 1, capacity <= 0 -> default) — a typo like
+// -stride 0 must fail loudly at parse time, not run an every-slot capture.
+func validateSeriesFlags(stride, capacity int64) error {
+	if stride < 1 {
+		return fmt.Errorf("-stride must be >= 1, got %d", stride)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("-cap must be >= 0 (0 = default ring capacity), got %d", capacity)
+	}
+	return nil
 }
 
 // Render draws the three-stage PPS.

@@ -108,3 +108,45 @@ func TestSeriesJSONFormat(t *testing.T) {
 		t.Errorf("unexpected JSON series output: %.120s", sb.String())
 	}
 }
+
+// TestValidateSeriesFlags pins the parse-time rejection of knobs the series
+// layer would silently coerce.
+func TestValidateSeriesFlags(t *testing.T) {
+	for _, tc := range []struct {
+		stride, cap int64
+		ok          bool
+	}{
+		{1, 0, true},
+		{7, 4096, true},
+		{0, 0, false},
+		{-3, 0, false},
+		{1, -1, false},
+	} {
+		err := validateSeriesFlags(tc.stride, tc.cap)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateSeriesFlags(%d, %d) = %v, want ok=%v", tc.stride, tc.cap, err, tc.ok)
+		}
+	}
+}
+
+// TestSeriesCapBoundsOutput checks the -cap knob actually bounds the series.
+func TestSeriesCapBoundsOutput(t *testing.T) {
+	var sb strings.Builder
+	err := runSeries(&sb, seriesConfig{
+		N: 4, K: 2, RPrime: 1,
+		Alg: "rr", Kind: "bernoulli", Load: 0.5, Seed: 1,
+		Slots: 500, Stride: 1, Cap: 16, Format: "csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n")[1:] {
+		counts[strings.SplitN(line, ",", 2)[0]]++
+	}
+	for name, n := range counts {
+		if n > 16 {
+			t.Errorf("series %s has %d points, -cap 16 should bound it", name, n)
+		}
+	}
+}

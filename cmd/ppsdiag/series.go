@@ -18,6 +18,7 @@ type seriesConfig struct {
 	Seed   int64
 	Slots  ppsim.Time
 	Stride ppsim.Time
+	Cap    int    // points retained per series; 0 = default ring capacity
 	Format string // csv or json
 }
 
@@ -43,7 +44,7 @@ func runSeries(w io.Writer, sc seriesConfig) error {
 	if err != nil {
 		return err
 	}
-	probes := ppsim.StandardProbes(sc.N, sc.K, sc.Stride, 0)
+	probes := ppsim.StandardProbes(sc.N, sc.K, sc.Stride, sc.Cap)
 	res, err := ppsim.Run(cfg, src, ppsim.Options{Probes: probes})
 	if err != nil {
 		return err

@@ -41,6 +41,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateStride(*stride); err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *algs {
 		for _, name := range ppsim.AlgorithmNames() {
 			fmt.Println(name)
@@ -149,4 +155,14 @@ func buildTraffic(cfg ppsim.Config, kind string, load float64, seed int64, slots
 	default:
 		return nil, fmt.Errorf("unknown traffic kind %q", kind)
 	}
+}
+
+// validateStride rejects a non-positive sampling stride at parse time.
+// obs.NewSeries silently coerces stride < 1 to 1, so a typo like -stride 0
+// would run a full every-slot capture instead of failing loudly.
+func validateStride(stride int64) error {
+	if stride < 1 {
+		return fmt.Errorf("-stride must be >= 1, got %d", stride)
+	}
+	return nil
 }

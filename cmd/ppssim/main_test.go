@@ -37,3 +37,19 @@ func TestBuildTrafficRunsEndToEnd(t *testing.T) {
 		t.Errorf("steering traffic through the CLI path should concentrate: RQD %d", res.Report.MaxRQD)
 	}
 }
+
+// TestValidateStride pins the parse-time rejection of coercible strides:
+// the series layer silently treats stride < 1 as 1, so the CLI must refuse
+// them before a run starts.
+func TestValidateStride(t *testing.T) {
+	for _, bad := range []int64{0, -1, -64} {
+		if err := validateStride(bad); err == nil {
+			t.Errorf("stride %d must be rejected", bad)
+		}
+	}
+	for _, good := range []int64{1, 7, 1 << 20} {
+		if err := validateStride(good); err != nil {
+			t.Errorf("stride %d rejected: %v", good, err)
+		}
+	}
+}

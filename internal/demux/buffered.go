@@ -21,6 +21,7 @@ import (
 // its own cells. The simulated deadline of a cell is its shadow departure
 // slot plus u, hence the u-slot relative delay ceiling.
 type BufferedCPA struct {
+	sendScratch
 	env    Env
 	u      cell.Time
 	tie    TieBreak
@@ -61,7 +62,7 @@ func (a *BufferedCPA) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		a.bufs[c.Flow.In].Push(c)
 	}
 	n, k := a.env.Ports(), a.env.Planes()
-	var sends []Send
+	sends := a.take()
 	// Release, from every input buffer, the cells that have aged u slots.
 	// Input order equals sequence order for same-slot arrivals, so oracle
 	// deadlines are assigned in the shadow switch's FCFS order.
@@ -97,7 +98,7 @@ func (a *BufferedCPA) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 			}
 		}
 	}
-	return sends, nil
+	return a.keep(sends), nil
 }
 
 // Buffered implements Algorithm.
@@ -110,6 +111,7 @@ func (a *BufferedCPA) Buffered(in cell.Port) int { return a.bufs[in].Len() }
 // cells, so the relative queuing delay remains Omega((1 - r/R) * N/S)
 // regardless of the buffer size.
 type BufferedRR struct {
+	sendScratch
 	env      Env
 	capacity int // max cells per input buffer; <= 0 means unbounded
 	ptr      []cell.Plane
@@ -143,7 +145,7 @@ func (a *BufferedRR) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		}
 		a.bufs[in].Push(c)
 	}
-	var sends []Send
+	sends := a.take()
 	for i := range a.bufs {
 		in := cell.Port(i)
 		for !a.bufs[i].Empty() {
@@ -162,7 +164,7 @@ func (a *BufferedRR) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 			break
 		}
 	}
-	return sends, nil
+	return a.keep(sends), nil
 }
 
 // Buffered implements Algorithm.

@@ -32,6 +32,7 @@ const (
 // degrades gracefully by picking the earliest-available plane, and the
 // measured excess is reported by experiment E11.
 type CPA struct {
+	sendScratch
 	env    Env
 	tie    TieBreak
 	oracle *shadow.Oracle
@@ -72,7 +73,7 @@ func (a *CPA) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 	if len(arrivals) == 0 {
 		return nil, nil
 	}
-	sends := make([]Send, 0, len(arrivals))
+	sends := a.take()
 	for _, c := range arrivals {
 		deadline := a.oracle.Departure(t, c.Flow.Out)
 		p, reserve, feasible := a.choose(t, c.Flow.In, c.Flow.Out, deadline)
@@ -85,7 +86,7 @@ func (a *CPA) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		a.linkNext[int(p)*a.env.Ports()+int(c.Flow.Out)] = reserve + cell.Time(a.env.RPrime())
 		sends = append(sends, Send{Cell: c, Plane: p})
 	}
-	return sends, nil
+	return a.keep(sends), nil
 }
 
 // choose returns the selected plane, its reservation slot, and whether the

@@ -22,6 +22,7 @@ import (
 // zero-relative-delay behaviour, and the sets formulation doubles as
 // executable documentation of the original paper's proof structure.
 type CPASets struct {
+	sendScratch
 	env    Env
 	oracle *shadow.Oracle
 	// linkNext[k*N+j]: earliest slot a new cell can cross line (k, j),
@@ -81,7 +82,7 @@ func (a *CPASets) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		return nil, nil
 	}
 	n := a.env.Ports()
-	sends := make([]Send, 0, len(arrivals))
+	sends := a.take()
 	for _, c := range arrivals {
 		deadline := a.oracle.Departure(t, c.Flow.Out)
 		ail := a.ail(c.Flow.In, t)
@@ -126,7 +127,7 @@ func (a *CPASets) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		a.linkNext[int(chosen)*n+int(c.Flow.Out)] = chosenNext + cell.Time(a.env.RPrime())
 		sends = append(sends, Send{Cell: c, Plane: chosen})
 	}
-	return sends, nil
+	return a.keep(sends), nil
 }
 
 // Buffered implements Algorithm (bufferless).

@@ -46,13 +46,30 @@ type Algorithm interface {
 	// returned sends are executed this slot; any arrival not sent must be
 	// buffered by the algorithm (only input-buffered algorithms may do
 	// so). Slot is called for every slot, including silent ones, so
-	// buffered algorithms can release held cells.
+	// buffered algorithms can release held cells. The returned slice is
+	// only valid until the next Slot call: algorithms reuse its backing
+	// array across slots to keep the steady state allocation-free.
 	Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error)
 
 	// Buffered reports the number of cells currently held in input-port
 	// i's buffer; bufferless algorithms return 0. The fabric uses it for
 	// conservation checks and buffer-capacity enforcement.
 	Buffered(in cell.Port) int
+}
+
+// sendScratch is the reusable per-slot sends slice embedded by every
+// algorithm. The fabric consumes the slice returned by Slot before the next
+// Slot call (see Algorithm.Slot), so handing out the same backing array
+// each slot is safe and keeps steady-state dispatch allocation-free.
+type sendScratch struct{ sends []Send }
+
+// take returns the reusable slice, emptied.
+func (s *sendScratch) take() []Send { return s.sends[:0] }
+
+// keep retains sends' backing array for the next slot and returns sends.
+func (s *sendScratch) keep(sends []Send) []Send {
+	s.sends = sends
+	return sends
 }
 
 // Prober is implemented by deterministic algorithms that can reveal which

@@ -40,7 +40,10 @@ func exec(t *testing.T, e *fakeEnv, a Algorithm, slot cell.Time, arrivals ...cel
 		}
 		e.log.Append(Event{T: slot, Kind: EvDispatch, In: s.Cell.Flow.In, Out: s.Cell.Flow.Out, K: s.Plane})
 	}
-	return sends
+	// Slot's return value is only valid until the next Slot call (the
+	// algorithms reuse the backing array); tests hold results across
+	// slots, so hand back a copy.
+	return append([]Send(nil), sends...)
 }
 
 func arr(st *cell.Stamper, t cell.Time, in, out cell.Port) cell.Cell {

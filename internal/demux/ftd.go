@@ -26,6 +26,7 @@ import (
 // implementation falls back to any free gate and counts the violation,
 // rather than dropping the cell.
 type FTD struct {
+	sendScratch
 	env   Env
 	h     float64
 	block int
@@ -67,7 +68,7 @@ func (a *FTD) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 	if len(arrivals) == 0 {
 		return nil, nil
 	}
-	sends := make([]Send, 0, len(arrivals))
+	sends := a.take()
 	for _, c := range arrivals {
 		fs := a.flows[c.Flow]
 		if fs == nil {
@@ -95,7 +96,7 @@ func (a *FTD) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		}
 		sends = append(sends, Send{Cell: c, Plane: p})
 	}
-	return sends, nil
+	return a.keep(sends), nil
 }
 
 // Buffered implements Algorithm (bufferless).

@@ -18,6 +18,7 @@ import (
 // universality check). No amount of local cleverness escapes the
 // Omega((R/r - 1) N) bound; only global information does.
 type LocalLeastLoaded struct {
+	sendScratch
 	env    Env
 	counts map[cell.Flow][]uint64 // per flow: dispatches per plane by this input
 }
@@ -38,7 +39,7 @@ func (a *LocalLeastLoaded) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, erro
 	if len(arrivals) == 0 {
 		return nil, nil
 	}
-	sends := make([]Send, 0, len(arrivals))
+	sends := a.take()
 	for _, c := range arrivals {
 		counts := a.flowCounts(c.Flow)
 		best := cell.NoPlane
@@ -57,7 +58,7 @@ func (a *LocalLeastLoaded) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, erro
 		counts[best]++
 		sends = append(sends, Send{Cell: c, Plane: best})
 	}
-	return sends, nil
+	return a.keep(sends), nil
 }
 
 func (a *LocalLeastLoaded) flowCounts(f cell.Flow) []uint64 {

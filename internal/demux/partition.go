@@ -18,6 +18,7 @@ import (
 // strands the N/G inputs of its group — the fault-tolerance argument for
 // unpartitioned dispatch.
 type StaticPartition struct {
+	sendScratch
 	env Env
 	d   int
 	ptr []cell.Plane // per-input offset within its group
@@ -76,7 +77,7 @@ func (sp *StaticPartition) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, erro
 	if len(arrivals) == 0 {
 		return nil, nil
 	}
-	sends := make([]Send, 0, len(arrivals))
+	sends := sp.take()
 	for _, c := range arrivals {
 		in := c.Flow.In
 		base := cell.Plane(sp.Group(in) * sp.d)
@@ -94,7 +95,7 @@ func (sp *StaticPartition) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, erro
 		sp.ptr[in] = (chosen - base + 1) % cell.Plane(sp.d)
 		sends = append(sends, Send{Cell: c, Plane: chosen})
 	}
-	return sends, nil
+	return sp.keep(sends), nil
 }
 
 // Buffered implements Algorithm (bufferless).

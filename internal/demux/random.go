@@ -17,6 +17,7 @@ import (
 // balls-into-bins concentration still yields Theta(sqrt(N)-ish) collisions
 // per plane; experiment E13 contrasts the two regimes empirically.
 type Random struct {
+	sendScratch
 	env  Env
 	rngs []*rand.Rand // one per input: independent local randomness
 }
@@ -42,7 +43,7 @@ func (r *Random) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 	if len(arrivals) == 0 {
 		return nil, nil
 	}
-	sends := make([]Send, 0, len(arrivals))
+	sends := r.take()
 	free := make([]cell.Plane, 0, r.env.Planes())
 	for _, c := range arrivals {
 		in := c.Flow.In
@@ -58,7 +59,7 @@ func (r *Random) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		p := free[r.rngs[in].Intn(len(free))]
 		sends = append(sends, Send{Cell: c, Plane: p})
 	}
-	return sends, nil
+	return r.keep(sends), nil
 }
 
 // Buffered implements Algorithm (bufferless).

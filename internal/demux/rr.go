@@ -29,6 +29,7 @@ const (
 // plane — it is N-partitioned in the paper's terminology, subject to the
 // Omega((R/r - 1) * N) bound of Corollary 7.
 type RoundRobin struct {
+	sendScratch
 	env  Env
 	gran Granularity
 	ptr  []cell.Plane             // PerInput state
@@ -68,7 +69,7 @@ func (rr *RoundRobin) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 	if len(arrivals) == 0 {
 		return nil, nil
 	}
-	sends := make([]Send, 0, len(arrivals))
+	sends := rr.take()
 	for _, c := range arrivals {
 		start := rr.pointer(c.Flow)
 		p := pickFree(rr.env, c.Flow.In, t, start, nil)
@@ -78,7 +79,7 @@ func (rr *RoundRobin) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		rr.setPointer(c.Flow, (p+1)%cell.Plane(rr.env.Planes()))
 		sends = append(sends, Send{Cell: c, Plane: p})
 	}
-	return sends, nil
+	return rr.keep(sends), nil
 }
 
 // Buffered implements Algorithm (bufferless: always 0).

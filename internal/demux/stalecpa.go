@@ -23,6 +23,7 @@ import (
 // Omega((1 - u'r/R) * u'N/S) bound, driven by leaky-bucket traffic with
 // burstiness u'^2 N/K - u'.
 type StaleCPA struct {
+	sendScratch
 	env Env
 	u   cell.Time
 	// rngs, when non-nil, randomize tie-breaking among equally-estimated
@@ -56,6 +57,10 @@ func NewStaleCPA(env Env, u cell.Time) (*StaleCPA, error) {
 		return nil, fmt.Errorf("demux: stale-cpa staleness must be >= 1, got %d", u)
 	}
 	n, k := env.Ports(), env.Planes()
+	// Request the global log now: the fabric records events only for
+	// registered readers, and registering before the first slot guarantees
+	// the stale reconstruction sees the complete stream.
+	env.Log()
 	return &StaleCPA{
 		env:        env,
 		u:          u,
@@ -100,7 +105,7 @@ func (a *StaleCPA) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 	}
 	n := a.env.Ports()
 	rp := cell.Time(a.env.RPrime())
-	sends := make([]Send, 0, len(arrivals))
+	sends := a.take()
 	for _, c := range arrivals {
 		in, out := c.Flow.In, c.Flow.Out
 		a.trimBlind(in, t)
@@ -140,7 +145,7 @@ func (a *StaleCPA) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		a.blind[in] = append(a.blind[in], blindDispatch{t: t, k: bestP, out: out})
 		sends = append(sends, Send{Cell: c, Plane: bestP})
 	}
-	return sends, nil
+	return a.keep(sends), nil
 }
 
 // advanceView consumes global events with T <= upto into the stale state.

@@ -76,7 +76,19 @@ type PPS struct {
 	inGates  *timing.Matrix // N x K
 	outGates *timing.Matrix // K x N
 	outputs  []*mux.Output
-	log      demux.Log
+	// pviews are the persistent per-output planeView adapters. Passing a
+	// value-type view would box it into the mux.PlaneView interface — one
+	// heap allocation per output per slot; pointers into this slice convert
+	// for free.
+	pviews []planeView
+	log    demux.Log
+	// logArmed is set the first time the global event log is requested
+	// (by a u-RT algorithm through its Env, or by a diagnostic caller via
+	// Log). An unrequested log records nothing: the append stream is pure
+	// overhead — it grew without bound at three events per cell — when no
+	// reader exists, and fully-distributed algorithms are forbidden from
+	// reading it anyway.
+	logArmed bool
 
 	// pendingPerIn counts arrived-but-undispatched cells per input; the
 	// fabric cross-checks it against the algorithm's Buffered reports.
@@ -135,6 +147,10 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 	for j := 0; j < cfg.N; j++ {
 		p.outputs = append(p.outputs, mux.NewOutput(cell.Port(j), cfg.Mux))
 	}
+	p.pviews = make([]planeView, cfg.N)
+	for j := range p.pviews {
+		p.pviews[j] = planeView{p: p, j: cell.Port(j)}
+	}
 	alg, err := makeAlg(envView{p})
 	if err != nil {
 		return nil, err
@@ -146,10 +162,13 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 // envView is the demux.Env the algorithm sees.
 type envView struct{ p *PPS }
 
-func (e envView) Ports() int      { return e.p.cfg.N }
-func (e envView) Planes() int     { return e.p.cfg.K }
-func (e envView) RPrime() int64   { return e.p.cfg.RPrime }
-func (e envView) Log() *demux.Log { return &e.p.log }
+func (e envView) Ports() int    { return e.p.cfg.N }
+func (e envView) Planes() int   { return e.p.cfg.K }
+func (e envView) RPrime() int64 { return e.p.cfg.RPrime }
+func (e envView) Log() *demux.Log {
+	e.p.logArmed = true
+	return &e.p.log
+}
 func (e envView) InputGateFreeAt(in cell.Port, k cell.Plane) cell.Time {
 	return e.p.inGates.Gate(int(in), int(k)).FreeAt()
 }
@@ -204,23 +223,25 @@ type planeView struct {
 	t cell.Time
 }
 
-func (v planeView) Planes() int { return v.p.cfg.K }
-func (v planeView) Head(k cell.Plane) (cell.Cell, bool) {
+func (v *planeView) Planes() int { return v.p.cfg.K }
+func (v *planeView) Head(k cell.Plane) (cell.Cell, bool) {
 	return v.p.planes[k].Head(v.j)
 }
-func (v planeView) Pop(k cell.Plane) cell.Cell {
+func (v *planeView) Pop(k cell.Plane) cell.Cell {
 	c := v.p.planes[k].Pop(v.j)
 	v.p.pullsPerOut[v.j]++
-	v.p.log.Append(demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k})
+	if v.p.logArmed {
+		v.p.log.Append(demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k})
+	}
 	if v.p.trace {
 		v.p.tracer.Emit(obs.Event{T: v.t, Kind: obs.EvMuxPull, Seq: c.Seq, In: c.Flow.In, Out: v.j, Plane: k})
 	}
 	return c
 }
-func (v planeView) GateFree(k cell.Plane, t cell.Time) bool {
+func (v *planeView) GateFree(k cell.Plane, t cell.Time) bool {
 	return v.p.outGates.Gate(int(k), int(v.j)).Free(t)
 }
-func (v planeView) SeizeGate(k cell.Plane, t cell.Time) error {
+func (v *planeView) SeizeGate(k cell.Plane, t cell.Time) error {
 	return v.p.outGates.Gate(int(k), int(v.j)).Seize(t)
 }
 
@@ -252,7 +273,9 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 		p.arrived++
 		p.pendingPerIn[c.Flow.In]++
 		p.pendingTotal++
-		p.log.Append(demux.Event{T: t, Kind: demux.EvArrival, In: c.Flow.In, Out: c.Flow.Out})
+		if p.logArmed {
+			p.log.Append(demux.Event{T: t, Kind: demux.EvArrival, In: c.Flow.In, Out: c.Flow.Out})
+		}
 		if p.trace {
 			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvArrival, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: cell.NoPlane})
 		}
@@ -286,7 +309,9 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 		if err := p.planes[s.Plane].Enqueue(c); err != nil {
 			return dst, p.violation(t, err)
 		}
-		p.log.Append(demux.Event{T: t, Kind: demux.EvDispatch, In: c.Flow.In, Out: c.Flow.Out, K: s.Plane})
+		if p.logArmed {
+			p.log.Append(demux.Event{T: t, Kind: demux.EvDispatch, In: c.Flow.In, Out: c.Flow.Out, K: s.Plane})
+		}
 		if p.trace {
 			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvPlaneEnqueue, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: s.Plane})
 		}
@@ -310,7 +335,9 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 
 	// 4. Multiplexing and departures.
 	for j := 0; j < p.cfg.N; j++ {
-		c, ok, err := p.outputs[j].Step(t, planeView{p: p, j: cell.Port(j), t: t})
+		pv := &p.pviews[j]
+		pv.t = t
+		c, ok, err := p.outputs[j].Step(t, pv)
 		if err != nil {
 			return dst, err
 		}
@@ -392,5 +419,18 @@ func (p *PPS) PeakPlaneQueue() int {
 }
 
 // Log exposes the global event log (used by diagnostics; algorithms receive
-// it through their Env).
-func (p *PPS) Log() *demux.Log { return &p.log }
+// it through their Env). The log records events only once requested: a
+// diagnostic caller that wants the full stream must call Log before the
+// first Step. Algorithms that read the log request it at construction, so
+// their view is always complete.
+func (p *PPS) Log() *demux.Log {
+	p.logArmed = true
+	return &p.log
+}
+
+// CurrentSlot reports the last slot the fabric executed, or -1 before the
+// first Step. The harness uses it to enforce that a PPS is driven at most
+// once: per-run accounting (output utilization windows, peak queues,
+// dispatch counters) is cumulative and would silently blend runs if a
+// fabric were reused.
+func (p *PPS) CurrentSlot() cell.Time { return p.lastSlot }

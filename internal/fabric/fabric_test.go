@@ -397,12 +397,15 @@ func TestPeakPlaneQueueTracksConcentration(t *testing.T) {
 
 func TestLogRecordsAllStages(t *testing.T) {
 	p, _ := New(Config{N: 2, K: 2, RPrime: 1, CheckInvariants: true}, rrFactory(demux.PerInput))
+	// Request the log before driving: recording starts when a reader
+	// registers, so an unobserved run pays no logging cost.
+	log := p.Log()
 	tr := traffic.NewTrace()
 	tr.MustAdd(0, 0, 1)
 	drive(t, p, tr, 10)
 	counts := map[demux.EventKind]int{}
 	var cur demux.Cursor
-	p.Log().Read(&cur, 1000, func(e demux.Event) { counts[e.Kind]++ })
+	log.Read(&cur, 1000, func(e demux.Event) { counts[e.Kind]++ })
 	if counts[demux.EvArrival] != 1 || counts[demux.EvDispatch] != 1 || counts[demux.EvXmit] != 1 {
 		t.Errorf("log counts = %v", counts)
 	}

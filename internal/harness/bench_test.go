@@ -4,8 +4,11 @@ import (
 	"testing"
 	"time"
 
+	"ppsim/internal/cell"
 	"ppsim/internal/fabric"
+	"ppsim/internal/metrics"
 	"ppsim/internal/obs"
+	"ppsim/internal/shadow"
 	"ppsim/internal/traffic"
 )
 
@@ -58,6 +61,94 @@ func BenchmarkHarnessActiveProbes(b *testing.B) {
 func BenchmarkHarnessActiveTracer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchRun(b, Options{Tracer: obs.NewTracer(obs.NewRingSink(1 << 12))})
+	}
+}
+
+// slotStepper replicates Drive's per-slot operations (arrivals, PPS step,
+// shadow step, departure recording) against shared scratch buffers, so
+// tests and benchmarks can meter individual slots — Drive itself only
+// exposes whole runs.
+type slotStepper struct {
+	tb                  testing.TB
+	pps                 *fabric.PPS
+	sh                  *shadow.Switch
+	st                  *cell.Stamper
+	rec                 *metrics.Recorder
+	src                 traffic.Source
+	buf                 []traffic.Arrival
+	deps, shDeps, cells []cell.Cell
+	slot                cell.Time
+}
+
+func newSlotStepper(tb testing.TB, src traffic.Source) *slotStepper {
+	pps, err := fabric.New(benchCfg(), rrFactory)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &slotStepper{
+		tb: tb, pps: pps, sh: shadow.New(benchCfg().N),
+		st: cell.NewStamper(), rec: metrics.NewRecorder(), src: src,
+	}
+}
+
+func (s *slotStepper) step() {
+	s.cells = s.cells[:0]
+	s.buf = s.src.Arrivals(s.slot, s.buf[:0])
+	for _, a := range s.buf {
+		s.cells = append(s.cells, s.st.Stamp(cell.Flow{In: a.In, Out: a.Out}, s.slot))
+	}
+	var err error
+	s.deps, err = s.pps.Step(s.slot, s.cells, s.deps[:0])
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	for _, d := range s.deps {
+		s.rec.PPSDepart(d)
+	}
+	s.shDeps = s.sh.Step(s.slot, s.cells, s.shDeps[:0])
+	for _, d := range s.shDeps {
+		s.rec.ShadowDepart(d)
+	}
+	s.slot++
+}
+
+// TestSteadyStateSlotAllocFree is the allocation guard: with checks,
+// tracing and probes all disabled, a slot of the drained-steady-state
+// engine must not touch the heap. The warm-up drives every lazily-built
+// structure (flow maps, ring capacities, per-flow heaps) to its
+// steady-state footprint, and Recorder.Reserve removes the amortized
+// growth of the per-cell tables, so any allocation in the measured window
+// is a regression on the hot path.
+func TestSteadyStateSlotAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; guard only meaningful on plain builds")
+	}
+	const warm, window = 4096, 512
+	horizon := cell.Time(warm + window + 16)
+	s := newSlotStepper(t, traffic.NewBernoulli(benchCfg().N, 0.6, horizon, 1))
+	s.rec.Reserve(benchCfg().N * int(horizon))
+	for s.slot < warm {
+		s.step()
+	}
+	allocs := testing.AllocsPerRun(window, s.step)
+	if allocs != 0 {
+		t.Errorf("steady-state slot allocates: %.2f allocs/slot, want 0", allocs)
+	}
+}
+
+// BenchmarkHarnessSteadyStateSlot prices one steady-state slot (allocs/op
+// should read 0 — the guard test above enforces it).
+func BenchmarkHarnessSteadyStateSlot(b *testing.B) {
+	horizon := cell.Time(b.N + 4096 + 16)
+	s := newSlotStepper(b, traffic.NewBernoulli(benchCfg().N, 0.6, horizon, 1))
+	s.rec.Reserve(benchCfg().N * int(horizon))
+	for s.slot < 4096 {
+		s.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
 	}
 }
 

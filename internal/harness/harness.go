@@ -118,8 +118,14 @@ func (v *slotView) ShadowInFlight() int        { return v.sh.Backlog() }
 func (v *slotView) FrontRQD() (int64, bool)    { return int64(v.rqd), v.rqdOK }
 
 // Drive is Run against an existing PPS (so callers can inject plane
-// failures or inspect internals afterwards). The PPS must be fresh (slot -1).
+// failures or inspect internals afterwards). The PPS must be fresh (slot -1):
+// per-run accounting (output utilization windows, peak queues, dispatch
+// counters) is cumulative, so driving a fabric twice would silently blend
+// the runs; Drive rejects a used fabric instead.
 func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
+	if s := pps.CurrentSlot(); s != -1 {
+		return Result{}, fmt.Errorf("harness: fabric already driven through slot %d; build a fresh PPS per run", s)
+	}
 	cfg := pps.Config()
 	if opts.MaxSlots <= 0 {
 		opts.MaxSlots = 1 << 22
@@ -152,6 +158,7 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 
 	var buf []traffic.Arrival
 	var deps, shDeps, cellsBuf []cell.Cell
+	var err error
 	slot := cell.Time(0)
 	for ; slot < opts.MaxSlots; slot++ {
 		if slot >= end && pps.Drained() && sh.Drained() {
@@ -172,7 +179,7 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 			}
 			cellsBuf = cells
 		}
-		deps, err := pps.Step(slot, cells, deps[:0])
+		deps, err = pps.Step(slot, cells, deps[:0])
 		if err != nil {
 			return Result{}, err
 		}
@@ -205,6 +212,19 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 	if !pps.Drained() || !sh.Drained() {
 		return Result{}, fmt.Errorf("harness: not drained after %d slots (pps backlog %d, shadow backlog %d)",
 			slot, pps.Backlog(), sh.Backlog())
+	}
+	if probing && slot > 0 {
+		// Final-slot flush: stride decimation would otherwise drop the last
+		// executed slot (slot-1, whose state the view still holds), leaving
+		// decimated series ending on pre-drain values. Force one sample per
+		// series; slots already recorded are only marked Final, not
+		// duplicated.
+		for _, pb := range opts.Probes {
+			for _, s := range pb.Series() {
+				s.ForceNext()
+			}
+			pb.Sample(view)
+		}
 	}
 
 	res := Result{

@@ -202,3 +202,107 @@ func TestResultString(t *testing.T) {
 		}
 	}
 }
+
+// TestFinalSlotFlushAcrossStrides is the regression test for the stride
+// decimation bug: before the post-run flush, a stride that did not divide
+// the final executed slot dropped it, so Last() reported pre-drain state.
+// For every stride the in-flight series must now end at the final slot
+// (value 0, the drained switch) with the point marked Final.
+func TestFinalSlotFlushAcrossStrides(t *testing.T) {
+	cfg := fabric.Config{N: 8, K: 4, RPrime: 2, CheckInvariants: true}
+	for _, stride := range []cell.Time{1, 3, 7, 64} {
+		src := traffic.NewBernoulli(cfg.N, 0.6, 200, 1)
+		probes := obs.StandardProbes(cfg.N, cfg.K, stride, 0)
+		res, err := Run(cfg, rrFactory, src, Options{Probes: probes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := res.Slots - 1
+		for _, name := range []string{"pps_in_flight", "shadow_in_flight", "input_depth_total"} {
+			s := seriesByName(res.Series, name)
+			last, ok := s.Last()
+			if !ok {
+				t.Fatalf("stride %d: %s is empty", stride, name)
+			}
+			if last.Slot != final {
+				t.Errorf("stride %d: %s ends at slot %d, want final slot %d", stride, name, last.Slot, final)
+			}
+			if last.Value != 0 {
+				t.Errorf("stride %d: %s final sample = %g, want 0 (drained)", stride, name, last.Value)
+			}
+			if !last.Final {
+				t.Errorf("stride %d: %s final sample not marked Final", stride, name)
+			}
+		}
+		// The flush must not duplicate an already-recorded final slot.
+		s := seriesByName(res.Series, "pps_in_flight")
+		pts := s.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Slot <= pts[i-1].Slot {
+				t.Fatalf("stride %d: series not strictly slot-ordered at %d: %v <= %v",
+					stride, i, pts[i].Slot, pts[i-1].Slot)
+			}
+		}
+	}
+}
+
+// TestDriveRejectsReusedFabric pins the single-use contract: per-run
+// accounting (utilization windows, peaks, dispatch counters) is cumulative,
+// so a second Drive on the same fabric must fail instead of silently
+// blending runs.
+func TestDriveRejectsReusedFabric(t *testing.T) {
+	cfg := fabric.Config{N: 4, K: 2, RPrime: 1, CheckInvariants: true}
+	pps, err := fabric.New(cfg, rrFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traffic.NewTrace()
+	tr.MustAdd(0, 0, 1)
+	if _, err := Drive(pps, tr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := traffic.NewTrace()
+	tr2.MustAdd(0, 0, 1)
+	if _, err := Drive(pps, tr2, Options{}); err == nil {
+		t.Fatal("second Drive on the same fabric must error")
+	} else if !strings.Contains(err.Error(), "already driven") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestMillionSlotSoakBoundedSeries drives a million-slot run with the full
+// standard probe set and checks the instrumentation invariants at scale:
+// every series stays within its ring capacity, is strictly slot-ordered,
+// and ends on the forced final sample.
+func TestMillionSlotSoakBoundedSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-slot soak skipped in -short mode")
+	}
+	const slots = 1 << 20
+	const capacity = 1 << 12
+	cfg := fabric.Config{N: 4, K: 2, RPrime: 2}
+	src := traffic.NewBernoulli(cfg.N, 0.6, slots, 1)
+	probes := obs.StandardProbes(cfg.N, cfg.K, 64, capacity)
+	res, err := Run(cfg, rrFactory, src, Options{Probes: probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots < slots {
+		t.Fatalf("run drained after %d slots, want >= %d", res.Slots, slots)
+	}
+	for _, s := range res.Series {
+		if s.Len() > capacity {
+			t.Errorf("%s holds %d points, capacity %d", s.Name(), s.Len(), capacity)
+		}
+		pts := s.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Slot <= pts[i-1].Slot {
+				t.Fatalf("%s not strictly slot-ordered at %d", s.Name(), i)
+			}
+		}
+	}
+	s := seriesByName(res.Series, "pps_in_flight")
+	if last, ok := s.Last(); !ok || last.Slot != res.Slots-1 || !last.Final {
+		t.Errorf("pps_in_flight last = %+v/%v, want Final point at slot %d", last, ok, res.Slots-1)
+	}
+}

@@ -18,6 +18,31 @@ import (
 	"ppsim/internal/stats"
 )
 
+// waitAccum streams count/sum/max of one stage-wait distribution. The
+// report only needs mean and max, so no samples are retained — unlike
+// stats.Summary this never allocates, keeping the per-slot record path
+// allocation-free.
+type waitAccum struct {
+	n   uint64
+	sum int64
+	max int64
+}
+
+func (w *waitAccum) add(v int64) {
+	w.n++
+	w.sum += v
+	if v > w.max {
+		w.max = v
+	}
+}
+
+func (w *waitAccum) mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return float64(w.sum) / float64(w.n)
+}
+
 // minmax tracks delay extremes for one flow in one switch.
 type minmax struct {
 	min, max cell.Time
@@ -54,9 +79,9 @@ type Recorder struct {
 
 	// Stage decomposition of PPS delay: input buffer, plane queue + line,
 	// output resequencing buffer.
-	inputWait  stats.Summary
-	planeWait  stats.Summary
-	outputWait stats.Summary
+	inputWait  waitAccum
+	planeWait  waitAccum
+	outputWait waitAccum
 
 	matched  uint64
 	maxRQD   cell.Time
@@ -76,6 +101,25 @@ func grow(s []cell.Time, idx uint64) []cell.Time {
 		s = append(s, cell.None)
 	}
 	return s
+}
+
+func reserveTimes(s []cell.Time, n int) []cell.Time {
+	if cap(s) >= n {
+		return s
+	}
+	out := make([]cell.Time, len(s), n)
+	copy(out, s)
+	return out
+}
+
+// Reserve pre-sizes the per-cell tables for n total cells. Callers that know
+// (or can bound) the cell count — benchmarks, the allocation guard — use it
+// to keep the per-departure record path free of amortized slice growth.
+func (r *Recorder) Reserve(n int) {
+	r.shadowDep = reserveTimes(r.shadowDep, n)
+	r.ppsDep = reserveTimes(r.ppsDep, n)
+	r.arriveAt = reserveTimes(r.arriveAt, n)
+	r.rqd.Reserve(n)
 }
 
 // ShadowDepart records a departure from the reference switch.
@@ -112,9 +156,9 @@ func (r *Recorder) PPSDepart(c cell.Cell) {
 	// Stage decomposition, when the intermediate stamps are present (the
 	// fabric always sets them; foreign departures may not).
 	if c.Dispatch != cell.None && c.AtOutput != cell.None {
-		r.inputWait.Add(int64(c.Dispatch - c.Arrive))
-		r.planeWait.Add(int64(c.AtOutput - c.Dispatch))
-		r.outputWait.Add(int64(c.Depart - c.AtOutput))
+		r.inputWait.add(int64(c.Dispatch - c.Arrive))
+		r.planeWait.add(int64(c.AtOutput - c.Dispatch))
+		r.outputWait.add(int64(c.Depart - c.AtOutput))
 	}
 	r.tryMatch(c.Seq)
 }
@@ -198,12 +242,12 @@ func (r *Recorder) Report() Report {
 		MeanRQD:        r.rqd.Mean(),
 		P99RQD:         cell.Time(r.rqd.Percentile(99)),
 		Flows:          len(r.flowPPS),
-		MeanInputWait:  r.inputWait.Mean(),
-		MeanPlaneWait:  r.planeWait.Mean(),
-		MeanOutputWait: r.outputWait.Mean(),
-		MaxInputWait:   cell.Time(r.inputWait.Max()),
-		MaxPlaneWait:   cell.Time(r.planeWait.Max()),
-		MaxOutputWait:  cell.Time(r.outputWait.Max()),
+		MeanInputWait:  r.inputWait.mean(),
+		MeanPlaneWait:  r.planeWait.mean(),
+		MeanOutputWait: r.outputWait.mean(),
+		MaxInputWait:   cell.Time(r.inputWait.max),
+		MaxPlaneWait:   cell.Time(r.planeWait.max),
+		MaxOutputWait:  cell.Time(r.outputWait.max),
 	}
 	for f, mp := range r.flowPPS {
 		if mp.max > rep.MaxPPSDelay {

@@ -17,10 +17,10 @@
 package mux
 
 import (
-	"container/heap"
 	"fmt"
 
 	"ppsim/internal/cell"
+	"ppsim/internal/queue"
 )
 
 // PlaneView is the fabric-provided view of the center stage restricted to
@@ -157,82 +157,69 @@ func (LazyFCFS) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
 // waiting this induces is genuine resequencing delay and is charged to the
 // PPS, as the paper's relative-delay accounting requires.
 type Buffer struct {
-	emittable cellHeap
-	parked    map[cell.Flow]*cellHeap // ordered by FlowSeq
-	next      map[cell.Flow]uint64    // next FlowSeq the output may emit
+	emittable *queue.Heap[cell.Cell]           // ordered by Seq (global FCFS)
+	parked    map[cell.Flow]*queue.Heap[cell.Cell] // ordered by FlowSeq
+	next      map[cell.Flow]uint64                 // next FlowSeq the output may emit
 	parkedLen int
 }
+
+func bySeq(a, b cell.Cell) bool     { return a.Seq < b.Seq }
+func byFlowSeq(a, b cell.Cell) bool { return a.FlowSeq < b.FlowSeq }
 
 // Push inserts a cell delivered by a plane.
 func (b *Buffer) Push(c cell.Cell) {
 	if b.next == nil {
 		b.next = make(map[cell.Flow]uint64)
-		b.parked = make(map[cell.Flow]*cellHeap)
+		b.parked = make(map[cell.Flow]*queue.Heap[cell.Cell])
+		b.emittable = queue.NewHeap(bySeq)
 	}
 	if c.FlowSeq == b.next[c.Flow] {
-		heap.Push(&b.emittable, c)
+		b.emittable.Push(c)
 		return
 	}
 	h := b.parked[c.Flow]
 	if h == nil {
-		h = &cellHeap{byFlowSeq: true}
+		// One parked heap per flow, kept for the run: flows are bounded by
+		// N^2, so retaining empty heaps trades bounded memory for an
+		// allocation-free steady state.
+		h = queue.NewHeap(byFlowSeq)
 		b.parked[c.Flow] = h
 	}
-	heap.Push(h, c)
+	h.Push(c)
 	b.parkedLen++
 }
 
 // Len reports the number of buffered cells (emittable and parked).
-func (b *Buffer) Len() int { return len(b.emittable.cells) + b.parkedLen }
+func (b *Buffer) Len() int {
+	if b.emittable == nil {
+		return 0
+	}
+	return b.emittable.Len() + b.parkedLen
+}
 
 // PopEmittable removes and returns the earliest in-order cell; ok is false
 // when every buffered cell is waiting for a predecessor (or the buffer is
 // empty).
 func (b *Buffer) PopEmittable() (cell.Cell, bool) {
-	if len(b.emittable.cells) == 0 {
+	if b.emittable == nil || b.emittable.Empty() {
 		return cell.Cell{}, false
 	}
-	c := heap.Pop(&b.emittable).(cell.Cell)
+	c := b.emittable.Pop()
 	b.next[c.Flow] = c.FlowSeq + 1
 	// Release the flow's successor if it was parked.
-	if h := b.parked[c.Flow]; h != nil && len(h.cells) > 0 && h.cells[0].FlowSeq == c.FlowSeq+1 {
-		nc := heap.Pop(h).(cell.Cell)
+	if h := b.parked[c.Flow]; h != nil && !h.Empty() && h.Peek().FlowSeq == c.FlowSeq+1 {
+		b.emittable.Push(h.Pop())
 		b.parkedLen--
-		heap.Push(&b.emittable, nc)
 	}
 	return c, true
 }
 
 // PeekEmittable returns the earliest in-order cell without removing it.
 func (b *Buffer) PeekEmittable() (cell.Cell, bool) {
-	if len(b.emittable.cells) == 0 {
+	if b.emittable == nil || b.emittable.Empty() {
 		return cell.Cell{}, false
 	}
-	return b.emittable.cells[0], true
-}
-
-// cellHeap orders cells by Seq (global FCFS) or by FlowSeq (per-flow
-// resequencing) depending on byFlowSeq.
-type cellHeap struct {
-	cells     []cell.Cell
-	byFlowSeq bool
-}
-
-func (h cellHeap) Len() int { return len(h.cells) }
-func (h cellHeap) Less(i, j int) bool {
-	if h.byFlowSeq {
-		return h.cells[i].FlowSeq < h.cells[j].FlowSeq
-	}
-	return h.cells[i].Seq < h.cells[j].Seq
-}
-func (h cellHeap) Swap(i, j int)       { h.cells[i], h.cells[j] = h.cells[j], h.cells[i] }
-func (h *cellHeap) Push(x interface{}) { h.cells = append(h.cells, x.(cell.Cell)) }
-func (h *cellHeap) Pop() interface{} {
-	old := h.cells
-	n := len(old)
-	v := old[n-1]
-	h.cells = old[:n-1]
-	return v
+	return b.emittable.Peek(), true
 }
 
 // Output is one PPS output-port: a pull policy plus the reassembly buffer
@@ -290,6 +277,11 @@ func (o *Output) Buffered() int { return o.buf.Len() }
 // idled between its first and last departure (the Theorem 14 "no relative
 // queuing delay in congested periods" signature). It returns 0 when the
 // output never departed a cell.
+//
+// The busy window is cumulative over the Output's lifetime and is never
+// reset, so the figure is only meaningful for a single run. Reusing a
+// fabric would silently blend the runs' windows (and every other cumulative
+// counter); harness.Drive therefore rejects an already-driven PPS.
 func (o *Output) Utilization() float64 {
 	if !o.everActive {
 		return 0

@@ -161,12 +161,12 @@ func (p *MuxPullProbe) Sample(v SlotView) {
 	for j := 0; j < v.Ports(); j++ {
 		cum += v.OutputPulls(j)
 	}
-	t := v.Slot()
-	if t%p.s.Stride() != 0 {
-		return // keep last anchored to recorded samples only
+	// Advance last only when the point was actually recorded (decimated or
+	// same-slot deduped observations report false), so each recorded point
+	// covers exactly the window since the previous recorded one.
+	if p.s.Observe(v.Slot(), float64(cum-p.last)) {
+		p.last = cum
 	}
-	p.s.Observe(t, float64(cum-p.last))
-	p.last = cum
 }
 
 // Series implements Probe.

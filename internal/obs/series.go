@@ -16,6 +16,13 @@ const DefaultSeriesCapacity = 1 << 16
 type Point struct {
 	Slot  cell.Time
 	Value float64
+	// Final marks the forced end-of-run sample: the harness re-samples the
+	// last executed slot after the run drains, so a decimated series still
+	// ends on post-drain state (a stride that does not divide the final
+	// slot would otherwise leave Last() reporting pre-drain values).
+	// Consumers of decimated series can use it to distinguish the flushed
+	// point from ordinary stride-aligned samples.
+	Final bool
 }
 
 // Series is a named, ring-buffered time series with stride decimation: only
@@ -29,6 +36,14 @@ type Series struct {
 	pts     []Point
 	start   int
 	dropped int
+	// force makes the next Observe bypass stride decimation (set by
+	// ForceNext for the harness's post-run flush).
+	force bool
+	// lastSlot/hasLast remember the most recently recorded slot so a
+	// forced re-observation of an already-recorded slot marks it final
+	// instead of duplicating it.
+	lastSlot cell.Time
+	hasLast  bool
 }
 
 // NewSeries returns an empty series. stride < 1 is treated as 1 (sample
@@ -49,18 +64,49 @@ func (s *Series) Name() string { return s.name }
 // Stride returns the decimation stride.
 func (s *Series) Stride() cell.Time { return s.stride }
 
-// Observe records value v for slot, unless the slot is decimated away.
-func (s *Series) Observe(slot cell.Time, v float64) {
-	if slot%s.stride != 0 {
-		return
+// ForceNext makes the next Observe bypass stride decimation, recording (or,
+// if that slot is already the latest recorded point, final-marking) the
+// sample. The harness arms it on every series before the post-run flush so
+// decimated series end on post-drain state.
+func (s *Series) ForceNext() { s.force = true }
+
+// Observe records value v for slot and reports whether a new point was
+// recorded. Slots decimated by the stride are skipped unless a forced
+// sample is pending (ForceNext). A forced observation of the most recently
+// recorded slot does not duplicate the point — it marks the existing point
+// final and reports false.
+func (s *Series) Observe(slot cell.Time, v float64) bool {
+	force := s.force
+	s.force = false
+	if slot%s.stride != 0 && !force {
+		return false
 	}
+	if s.hasLast && slot == s.lastSlot {
+		if force && len(s.pts) > 0 {
+			s.pts[s.lastIndex()].Final = true
+		}
+		return false
+	}
+	s.hasLast, s.lastSlot = true, slot
+	p := Point{Slot: slot, Value: v, Final: force}
 	if len(s.pts) < s.cap {
-		s.pts = append(s.pts, Point{Slot: slot, Value: v})
-		return
+		s.pts = append(s.pts, p)
+		return true
 	}
-	s.pts[s.start] = Point{Slot: slot, Value: v}
+	s.pts[s.start] = p
 	s.start = (s.start + 1) % s.cap
 	s.dropped++
+	return true
+}
+
+// lastIndex returns the index of the most recently recorded point; only
+// valid when the series is non-empty.
+func (s *Series) lastIndex() int {
+	i := s.start - 1
+	if i < 0 {
+		i = len(s.pts) - 1
+	}
+	return i
 }
 
 // Len reports the number of retained points.
@@ -82,11 +128,7 @@ func (s *Series) Last() (Point, bool) {
 	if len(s.pts) == 0 {
 		return Point{}, false
 	}
-	i := s.start - 1
-	if i < 0 {
-		i = len(s.pts) - 1
-	}
-	return s.pts[i], true
+	return s.pts[s.lastIndex()], true
 }
 
 // Max returns the retained point with the largest value (earliest wins on

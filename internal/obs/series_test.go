@@ -59,6 +59,91 @@ func TestSeriesRingAtStrideBoundaries(t *testing.T) {
 	}
 }
 
+// TestSeriesForceNext covers the forced end-of-run sample: a pending force
+// bypasses stride decimation and marks the point Final; forcing a slot that
+// is already the latest recorded point only final-marks it (no duplicate).
+func TestSeriesForceNext(t *testing.T) {
+	s := NewSeries("x", 3, 100)
+	for slot := cell.Time(0); slot <= 7; slot++ {
+		s.Observe(slot, float64(slot))
+	}
+	// Slot 7 is decimated (7 % 3 != 0); force it.
+	s.ForceNext()
+	if !s.Observe(7, 7) {
+		t.Fatal("forced observe of a decimated slot must record")
+	}
+	last, ok := s.Last()
+	if !ok || last.Slot != 7 || !last.Final {
+		t.Fatalf("Last = %+v/%v, want slot 7 final", last, ok)
+	}
+	// Forcing the already-recorded slot 7 again must not duplicate it.
+	n := s.Len()
+	s.ForceNext()
+	if s.Observe(7, 99) {
+		t.Error("forced re-observe of the recorded slot must not record")
+	}
+	if s.Len() != n {
+		t.Errorf("Len = %d after re-force, want %d", s.Len(), n)
+	}
+	if last, _ := s.Last(); last.Value != 7 || !last.Final {
+		t.Errorf("re-force overwrote the point: %+v", last)
+	}
+	// The force flag must not leak: the next decimated slot is skipped.
+	if s.Observe(8, 8) {
+		t.Error("force flag leaked past its observation")
+	}
+	// Stride-aligned final slot: recorded normally, then final-marked.
+	s2 := NewSeries("y", 2, 100)
+	s2.Observe(4, 40)
+	s2.ForceNext()
+	if s2.Observe(4, 40) {
+		t.Error("force on an already-recorded aligned slot must not duplicate")
+	}
+	if last, _ := s2.Last(); last.Slot != 4 || last.Value != 40 || !last.Final {
+		t.Errorf("aligned final slot not marked: %+v", last)
+	}
+}
+
+// TestSeriesCapBoundaries pins Points()/Last() ordering exactly at the ring
+// capacity, one past it, and after a full double wrap.
+func TestSeriesCapBoundaries(t *testing.T) {
+	const capacity = 8
+	fill := func(n int) *Series {
+		s := NewSeries("x", 1, capacity)
+		for slot := cell.Time(0); slot < cell.Time(n); slot++ {
+			s.Observe(slot, float64(slot))
+		}
+		return s
+	}
+	for _, tc := range []struct {
+		n         int
+		wantFirst cell.Time
+		wantDrop  int
+	}{
+		{capacity, 0, 0},
+		{capacity + 1, 1, 1},
+		{2 * capacity, capacity, capacity},
+	} {
+		s := fill(tc.n)
+		if s.Len() != capacity {
+			t.Fatalf("n=%d: Len = %d, want %d", tc.n, s.Len(), capacity)
+		}
+		if s.Dropped() != tc.wantDrop {
+			t.Errorf("n=%d: Dropped = %d, want %d", tc.n, s.Dropped(), tc.wantDrop)
+		}
+		pts := s.Points()
+		for i, p := range pts {
+			want := tc.wantFirst + cell.Time(i)
+			if p.Slot != want || p.Value != float64(want) {
+				t.Errorf("n=%d: pts[%d] = %+v, want slot %d", tc.n, i, p, want)
+			}
+		}
+		if last, ok := s.Last(); !ok || last.Slot != cell.Time(tc.n-1) {
+			t.Errorf("n=%d: Last = %+v/%v, want slot %d", tc.n, last, ok, tc.n-1)
+		}
+	}
+}
+
 func TestSeriesDefaults(t *testing.T) {
 	s := NewSeries("d", 0, -5)
 	if s.Stride() != 1 {

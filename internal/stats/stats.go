@@ -25,6 +25,17 @@ func (s *Summary) Add(v int64) {
 	s.sorted = false
 }
 
+// Reserve pre-sizes the sample buffer for n total samples, so callers that
+// know the workload size up front can keep subsequent Adds allocation-free.
+func (s *Summary) Reserve(n int) {
+	if cap(s.samples) >= n {
+		return
+	}
+	out := make([]int64, len(s.samples), n)
+	copy(out, s.samples)
+	s.samples = out
+}
+
 // N reports the number of recorded samples.
 func (s *Summary) N() int { return len(s.samples) }
 
