@@ -1,6 +1,7 @@
 // Command ppsbench runs the repository's fixed benchmark suite — bursty,
-// uniform and adversarial traffic at N in {8, 32, 128} and K in {2, 8} —
-// and writes a machine-readable BENCH_<rev>.json next to the working
+// uniform and adversarial traffic at N in {8, 32, 128} and K in {2, 8},
+// plus bursty large-N cases at N in {512, 1024} for the stage-parallel
+// engine — and writes a machine-readable BENCH_<rev>.json next to the working
 // directory. The committed BENCH_*.json files seed the repo's perf
 // trajectory: every PR that claims a speedup re-runs the suite and compares
 // slots/sec and allocs/slot against the checked-in baseline (see the
@@ -48,17 +49,31 @@ type benchResult struct {
 	AllocsPerSlot float64 `json:"allocs_per_slot"`
 	BytesPerSlot  float64 `json:"bytes_per_slot"`
 	MaxRQD        int64   `json:"max_rqd"`
+	// WorkersResolved is the stage-parallel worker count the -workers
+	// request resolved to for this case's N (0 = serial engine). Absent
+	// (zero) in files written before the field existed, which also reads
+	// correctly: those runs were serial.
+	WorkersResolved int `json:"workers_resolved,omitempty"`
 }
 
-// benchFile is the stable schema of a BENCH_<rev>.json file.
+// benchFile is the stable schema of a BENCH_<rev>.json file. Fields added
+// after the first release carry omitempty so older readers (and diffs
+// against older files) degrade gracefully; absent machine fields mean "one
+// unknown core, serial engine".
 type benchFile struct {
-	Rev          string        `json:"rev"`
-	GoVersion    string        `json:"go_version"`
-	GOOS         string        `json:"goos"`
-	GOARCH       string        `json:"goarch"`
-	Quick        bool          `json:"quick"`
-	PeakRSSBytes int64         `json:"peak_rss_bytes"`
-	Results      []benchResult `json:"results"`
+	Rev          string `json:"rev"`
+	GoVersion    string `json:"go_version"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	Quick        bool   `json:"quick"`
+	PeakRSSBytes int64  `json:"peak_rss_bytes"`
+	// GoMaxProcs and NumCPU record the parallelism available on the
+	// benchmarking machine; Workers echoes the -workers request. Together
+	// they make slots/sec figures comparable across machines.
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	NumCPU     int           `json:"num_cpu,omitempty"`
+	Workers    int           `json:"workers,omitempty"`
+	Results    []benchResult `json:"results"`
 }
 
 // suite returns the fixed benchmark matrix. horizon scales every case; the
@@ -79,6 +94,20 @@ func suite(horizon int64) []benchCase {
 				})
 			}
 		}
+	}
+	// Large-N cases exercise the stage-parallel engine where its shards are
+	// wide enough to pay for the per-slot barrier. Horizons shrink with N so
+	// per-case wall time stays in the same band as the rest of the suite.
+	for _, n := range []int{512, 1024} {
+		cases = append(cases, benchCase{
+			Name:    fmt.Sprintf("bursty/n%d/k8", n),
+			Traffic: "bursty",
+			N:       n,
+			K:       8,
+			RPrime:  2,
+			Slots:   horizon / int64(n/128),
+			Seed:    1,
+		})
 	}
 	return cases
 }
@@ -108,7 +137,7 @@ func buildSource(c benchCase) (ppsim.Source, error) {
 }
 
 // run executes one case and measures throughput and allocation rate.
-func run(c benchCase) (benchResult, error) {
+func run(c benchCase, workers int) (benchResult, error) {
 	src, err := buildSource(c)
 	if err != nil {
 		return benchResult{}, err
@@ -118,7 +147,7 @@ func run(c benchCase) (benchResult, error) {
 		DisableChecks: true,
 		Algorithm:     ppsim.Algorithm{Name: "rr", Seed: c.Seed},
 	}
-	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8}
+	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8, Workers: workers}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -133,11 +162,12 @@ func run(c benchCase) (benchResult, error) {
 
 	slots := int64(res.Slots)
 	out := benchResult{
-		benchCase:   c,
-		RunSlots:    slots,
-		Cells:       res.Report.Cells,
-		WallSeconds: wall.Seconds(),
-		MaxRQD:      int64(res.Report.MaxRQD),
+		benchCase:       c,
+		RunSlots:        slots,
+		Cells:           res.Report.Cells,
+		WallSeconds:     wall.Seconds(),
+		MaxRQD:          int64(res.Report.MaxRQD),
+		WorkersResolved: ppsim.ResolveWorkers(workers, c.N),
 	}
 	if wall > 0 {
 		out.SlotsPerSec = float64(slots) / wall.Seconds()
@@ -175,11 +205,12 @@ func peakRSS() int64 {
 
 func main() {
 	var (
-		rev    = flag.String("rev", "dev", "revision label; output file is BENCH_<rev>.json")
-		outDir = flag.String("out", ".", "directory to write the JSON report into")
-		filter = flag.String("filter", "", "run only cases whose name contains this substring")
-		quick  = flag.Bool("quick", false, "short horizons (CI smoke run)")
-		slots  = flag.Int64("slots", 20000, "traffic horizon per case in slots")
+		rev     = flag.String("rev", "dev", "revision label; output file is BENCH_<rev>.json")
+		outDir  = flag.String("out", ".", "directory to write the JSON report into")
+		filter  = flag.String("filter", "", "run only cases whose name contains this substring")
+		quick   = flag.Bool("quick", false, "short horizons (CI smoke run)")
+		slots   = flag.Int64("slots", 20000, "traffic horizon per case in slots")
+		workers = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
 	)
 	flag.Parse()
 
@@ -192,17 +223,20 @@ func main() {
 	}
 
 	report := benchFile{
-		Rev:       *rev,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Quick:     *quick,
+		Rev:        *rev,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Quick:      *quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    *workers,
 	}
 	for _, c := range suite(horizon) {
 		if *filter != "" && !strings.Contains(c.Name, *filter) {
 			continue
 		}
-		res, err := run(c)
+		res, err := run(c, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsbench:", err)
 			os.Exit(1)

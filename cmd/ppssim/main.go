@@ -35,6 +35,7 @@ func main() {
 		slots   = flag.Int64("slots", 5000, "traffic horizon in slots")
 		algs    = flag.Bool("algs", false, "list algorithms and exit")
 		verbose = flag.Bool("v", false, "print utilization per output")
+		workers = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
 		trace   = flag.String("trace", "", "write a JSONL event trace to FILE")
 		series  = flag.String("series", "", "write per-slot probe series CSV to FILE")
 		stride  = flag.Int64("stride", 1, "sample every stride-th slot (with -series)")
@@ -77,6 +78,7 @@ func main() {
 	opts := ppsim.Options{
 		Horizon:  ppsim.Time(*slots) * 8,
 		Validate: true,
+		Workers:  *workers,
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)

@@ -26,7 +26,11 @@ import (
 type Config struct {
 	// N is the number of external input- and output-ports.
 	N int
-	// K is the number of center-stage planes.
+	// K is the number of center-stage planes. The paper's premise is
+	// K < N planes running slower than the external line; K >= N is legal
+	// hardware and accepted here (useful for speedup sweeps), but it is
+	// outside the model the lower bounds are proved for — interpret RQD
+	// figures at K >= N accordingly.
 	K int
 	// RPrime is r' = R/r: the slots an internal line is occupied per cell.
 	// The speedup is S = K*r/R = K/RPrime.
@@ -40,6 +44,13 @@ type Config struct {
 	// CheckInvariants enables per-slot conservation auditing (O(N+K) per
 	// slot; cheap enough to default on in experiments).
 	CheckInvariants bool
+	// Workers selects the stage-parallel slot engine: 0 runs every stage
+	// serially (the historical engine), a positive value shards the
+	// per-input audit and per-output mux stages across that many
+	// persistent workers, and -1 picks a shard count from GOMAXPROCS and
+	// N (see ResolveWorkers). Any worker count produces bit-identical
+	// results to the serial engine.
+	Workers int
 }
 
 // Speedup returns S = K / r'.
@@ -53,17 +64,14 @@ func (c Config) Validate() error {
 	if c.K <= 0 {
 		return fmt.Errorf("fabric: K must be positive, got %d", c.K)
 	}
-	if c.K >= c.N {
-		// The PPS premise is K < N planes running slower than the line
-		// rate; K >= N is legal hardware but outside the model studied.
-		// Allow it, but r' must still be sane.
-		_ = c
-	}
 	if c.RPrime < 1 {
 		return fmt.Errorf("fabric: r' must be >= 1, got %d", c.RPrime)
 	}
 	if c.BufferCap < -1 {
 		return fmt.Errorf("fabric: BufferCap must be -1, 0 or positive, got %d", c.BufferCap)
+	}
+	if c.Workers < -1 {
+		return fmt.Errorf("fabric: Workers must be -1 (auto), 0 (serial) or positive, got %d", c.Workers)
 	}
 	return nil
 }
@@ -114,8 +122,16 @@ type PPS struct {
 	tracer *obs.Tracer
 	trace  bool
 
-	// lastFlowSeq tracks per-flow order preservation at departure.
-	lastFlowSeq map[cell.Flow]uint64
+	// lastFlowSeq tracks per-flow order preservation at departure,
+	// sharded per output-port: a flow (in, out) departs only at output
+	// out, so lastFlowSeq[out] — keyed by the input-port alone — is
+	// written by exactly one mux shard. The sharding also keeps each map
+	// at most N entries instead of one N^2-entry map, which measurably
+	// shrinks the serial departure path's map pressure at large N.
+	lastFlowSeq []map[cell.Port]uint64
+
+	// pool is the stage-parallel worker pool, nil for the serial engine.
+	pool *workerPool
 }
 
 // New builds a PPS and constructs its demultiplexing algorithm via makeAlg,
@@ -134,9 +150,12 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 		pendingPerIn:       make([]int, cfg.N),
 		seenStamp:          make([]cell.Time, cfg.N),
 		lastSlot:           -1,
-		lastFlowSeq:        make(map[cell.Flow]uint64),
+		lastFlowSeq:        make([]map[cell.Port]uint64, cfg.N),
 		dispatchedPerPlane: make([]uint64, cfg.K),
 		pullsPerOut:        make([]int64, cfg.N),
+	}
+	for j := range p.lastFlowSeq {
+		p.lastFlowSeq[j] = make(map[cell.Port]uint64)
 	}
 	for i := range p.seenStamp {
 		p.seenStamp[i] = cell.None
@@ -156,6 +175,9 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 		return nil, err
 	}
 	p.alg = alg
+	if w := ResolveWorkers(cfg.Workers, cfg.N); w > 0 {
+		p.pool = newWorkerPool(p, w)
+	}
 	return p, nil
 }
 
@@ -216,11 +238,53 @@ func (p *PPS) violation(t cell.Time, err error) error {
 	return err
 }
 
+// auditInput cross-checks the algorithm's buffer report for input i against
+// the fabric's own count and the configured capacity (stage 3 of Step for
+// one input). It only reads fabric and algorithm state, so input shards may
+// run it concurrently.
+func (p *PPS) auditInput(i int) error {
+	in := cell.Port(i)
+	rep := p.alg.Buffered(in)
+	if rep != p.pendingPerIn[i] {
+		return fmt.Errorf("fabric: %s reports %d buffered at input %d, fabric counts %d (cell lost or duplicated)",
+			p.alg.Name(), rep, in, p.pendingPerIn[i])
+	}
+	switch {
+	case p.cfg.BufferCap == 0 && rep != 0:
+		return fmt.Errorf("fabric: bufferless PPS but %s buffered %d cells at input %d", p.alg.Name(), rep, in)
+	case p.cfg.BufferCap > 0 && rep > p.cfg.BufferCap:
+		return fmt.Errorf("fabric: input %d buffer occupancy %d exceeds capacity %d", in, rep, p.cfg.BufferCap)
+	}
+	return nil
+}
+
+// checkFlowOrder verifies and records per-flow order preservation for a
+// departing cell. The per-output lastFlowSeq shard is written only by the
+// goroutine driving output c.Flow.Out, so output shards need no locking.
+func (p *PPS) checkFlowOrder(c cell.Cell) error {
+	seqs := p.lastFlowSeq[c.Flow.Out]
+	if last, seen := seqs[c.Flow.In]; seen && c.FlowSeq != last+1 {
+		return fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, last)
+	} else if !seen && c.FlowSeq != 0 {
+		return fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq)
+	}
+	seqs[c.Flow.In] = c.FlowSeq
+	return nil
+}
+
 // planeView adapts the center stage for one output's multiplexor.
 type planeView struct {
 	p *PPS
 	j cell.Port
 	t cell.Time
+	// pulls, when non-nil, receives per-plane pop counts instead of the
+	// plane's own backlog counter being decremented: the sharded mux stage
+	// points it at a worker-local array so concurrent outputs never write
+	// shared plane state, and reconciles after the stage barrier.
+	pulls []int
+	// events, when non-nil, buffers EvXmit entries for ordered replay
+	// after the stage barrier (the global log is append-only and shared).
+	events *[]demux.Event
 }
 
 func (v *planeView) Planes() int { return v.p.cfg.K }
@@ -228,10 +292,21 @@ func (v *planeView) Head(k cell.Plane) (cell.Cell, bool) {
 	return v.p.planes[k].Head(v.j)
 }
 func (v *planeView) Pop(k cell.Plane) cell.Cell {
-	c := v.p.planes[k].Pop(v.j)
+	var c cell.Cell
+	if v.pulls != nil {
+		c = v.p.planes[k].PopDeferred(v.j)
+		v.pulls[k]++
+	} else {
+		c = v.p.planes[k].Pop(v.j)
+	}
 	v.p.pullsPerOut[v.j]++
 	if v.p.logArmed {
-		v.p.log.Append(demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k})
+		e := demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k}
+		if v.events != nil {
+			*v.events = append(*v.events, e)
+		} else {
+			v.p.log.Append(e)
+		}
 	}
 	if v.p.trace {
 		v.p.tracer.Emit(obs.Event{T: v.t, Kind: obs.EvMuxPull, Seq: c.Seq, In: c.Flow.In, Out: v.j, Plane: k})
@@ -317,44 +392,43 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 		}
 	}
 
-	// 3. Buffer discipline.
-	for i := 0; i < p.cfg.N; i++ {
-		in := cell.Port(i)
-		rep := p.alg.Buffered(in)
-		if rep != p.pendingPerIn[i] {
-			return dst, p.violation(t, fmt.Errorf("fabric: %s reports %d buffered at input %d, fabric counts %d (cell lost or duplicated)",
-				p.alg.Name(), rep, in, p.pendingPerIn[i]))
-		}
-		switch {
-		case p.cfg.BufferCap == 0 && rep != 0:
-			return dst, p.violation(t, fmt.Errorf("fabric: bufferless PPS but %s buffered %d cells at input %d", p.alg.Name(), rep, in))
-		case p.cfg.BufferCap > 0 && rep > p.cfg.BufferCap:
-			return dst, p.violation(t, fmt.Errorf("fabric: input %d buffer occupancy %d exceeds capacity %d", in, rep, p.cfg.BufferCap))
-		}
-	}
-
-	// 4. Multiplexing and departures.
-	for j := 0; j < p.cfg.N; j++ {
-		pv := &p.pviews[j]
-		pv.t = t
-		c, ok, err := p.outputs[j].Step(t, pv)
+	// 3. Buffer discipline; 4. multiplexing and departures. The sharded
+	// engine runs stage 3 across input shards and stage 4 across output
+	// shards with a barrier in between; it is bit-identical to the serial
+	// loops below (see parallel.go for why) but falls back to them while a
+	// tracer is attached, since the tracer's event stream is globally
+	// ordered and tracing is a diagnostic, not a throughput, mode.
+	if p.pool != nil && !p.trace && !p.pool.closed {
+		var err error
+		dst, err = p.stepSharded(t, dst)
 		if err != nil {
-			return dst, err
+			return dst, p.violation(t, err)
 		}
-		if !ok {
-			continue
+	} else {
+		for i := 0; i < p.cfg.N; i++ {
+			if err := p.auditInput(i); err != nil {
+				return dst, p.violation(t, err)
+			}
 		}
-		if last, seen := p.lastFlowSeq[c.Flow]; seen && c.FlowSeq != last+1 {
-			return dst, p.violation(t, fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, last))
-		} else if !seen && c.FlowSeq != 0 {
-			return dst, p.violation(t, fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq))
+		for j := 0; j < p.cfg.N; j++ {
+			pv := &p.pviews[j]
+			pv.t = t
+			c, ok, err := p.outputs[j].Step(t, pv)
+			if err != nil {
+				return dst, err
+			}
+			if !ok {
+				continue
+			}
+			if err := p.checkFlowOrder(c); err != nil {
+				return dst, p.violation(t, err)
+			}
+			p.departed++
+			if p.trace {
+				p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDepart, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
+			}
+			dst = append(dst, c)
 		}
-		p.lastFlowSeq[c.Flow] = c.FlowSeq
-		p.departed++
-		if p.trace {
-			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDepart, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
-		}
-		dst = append(dst, c)
 	}
 
 	// 5. Conservation audit.

@@ -1,0 +1,278 @@
+// Stage-parallel slot engine: a persistent sharded worker pool that runs
+// stage 3 (per-input buffer audit) across input shards and stage 4 (per-
+// output mux pulls, order checks and departures) across output shards, with
+// a barrier between the stages.
+//
+// Why determinism holds (DESIGN.md §8 expands on this):
+//
+//   - Stage 3 only *reads* fabric and algorithm state, so sharding it
+//     cannot change any result, only which violation is detected first;
+//     workers scan their shard in ascending input order and the collector
+//     takes the first error in shard order, which is the lowest input
+//     index — exactly the error the serial loop returns.
+//   - In stage 4, output j touches only row j of the departure scratch,
+//     column j of the output-gate matrix, the per-output queues of each
+//     plane (pops deferred from the shared backlog counter), its own
+//     mux.Output, pullsPerOut[j] and lastFlowSeq[j]. Outputs are therefore
+//     independent within a slot, and running them in any order yields the
+//     same per-output outcome as the serial j-ascending loop.
+//   - Everything order-sensitive is applied after the barrier by the
+//     stepping goroutine, in the serial loop's order: plane backlog
+//     reconciliation, global-log EvXmit replay (workers buffer events; a
+//     worker's buffer is ascending in j because it scans its contiguous
+//     shard in order, so replaying worker 0..W-1 reproduces the serial
+//     append order), and the departure append into dst in ascending j.
+//
+// The pool is spawned once in New — no per-slot goroutine creation — and
+// every per-slot signal (a job send on a buffered channel, a WaitGroup
+// add/wait) is allocation-free, so the 0-allocs/slot steady-state invariant
+// survives (TestParallelSlotAllocFree pins it).
+package fabric
+
+import (
+	"runtime"
+	"sync"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/demux"
+)
+
+// minShard is the smallest number of ports worth a dedicated worker in auto
+// mode: below this the per-slot barrier costs more than the sharded work.
+const minShard = 16
+
+// ResolveWorkers maps a Config.Workers request to the effective worker
+// count: 0 for the serial engine, otherwise the number of pool workers.
+// Explicit positive requests are honored (clamped to N); -1 (auto) derives
+// the count from GOMAXPROCS and N, and falls back to serial when shards
+// would be too small to pay for the barrier.
+func ResolveWorkers(workers, n int) int {
+	switch {
+	case workers == 0:
+		return 0
+	case workers > 0:
+		if workers > n {
+			workers = n
+		}
+		return workers
+	default: // auto
+		w := runtime.GOMAXPROCS(0)
+		if maxW := n / minShard; w > maxW {
+			w = maxW
+		}
+		if w <= 1 {
+			return 0
+		}
+		return w
+	}
+}
+
+// stageJob selects the work a woken worker performs.
+type stageJob uint8
+
+const (
+	jobAudit stageJob = iota // stage 3: per-input buffer audit
+	jobMux                   // stage 4: per-output mux pulls and departures
+)
+
+// workerPool is the persistent stage-parallel executor of one PPS.
+type workerPool struct {
+	p       *PPS
+	workers int
+	wake    []chan stageJob // one per worker; buffered so sends never block
+	wg      sync.WaitGroup
+	closed  bool
+
+	// t is the slot being executed, set by the stepping goroutine before
+	// the stage signals (workers only read it while running a stage).
+	t cell.Time
+
+	// Shard bounds: worker w owns inputs [inLo[w], inHi[w]) and outputs
+	// [outLo[w], outHi[w]).
+	inLo, inHi   []int
+	outLo, outHi []int
+
+	// errs[w] is worker w's first violation this stage, nil otherwise.
+	errs []error
+	// pulls[w][k] counts worker w's pops from plane k this slot, deferred
+	// from the planes' shared backlog counters until after the barrier.
+	pulls [][]int
+	// events[w] buffers worker w's EvXmit log entries for ordered replay
+	// (only used while the global event log is armed).
+	events [][]demux.Event
+
+	// depCell[j]/depHas[j] hold output j's departure this slot, if any.
+	depCell []cell.Cell
+	depHas  []bool
+}
+
+// newWorkerPool builds the pool and spawns its workers; w must be >= 1.
+func newWorkerPool(p *PPS, w int) *workerPool {
+	n := p.cfg.N
+	pl := &workerPool{
+		p:       p,
+		workers: w,
+		wake:    make([]chan stageJob, w),
+		inLo:    make([]int, w),
+		inHi:    make([]int, w),
+		outLo:   make([]int, w),
+		outHi:   make([]int, w),
+		errs:    make([]error, w),
+		pulls:   make([][]int, w),
+		events:  make([][]demux.Event, w),
+		depCell: make([]cell.Cell, n),
+		depHas:  make([]bool, n),
+	}
+	for i := 0; i < w; i++ {
+		pl.inLo[i], pl.inHi[i] = i*n/w, (i+1)*n/w
+		pl.outLo[i], pl.outHi[i] = i*n/w, (i+1)*n/w
+		pl.pulls[i] = make([]int, p.cfg.K)
+		pl.wake[i] = make(chan stageJob, 1)
+		go pl.loop(i)
+	}
+	return pl
+}
+
+// loop is one worker: wait for a stage signal, run the shard, report done.
+func (pl *workerPool) loop(w int) {
+	for job := range pl.wake[w] {
+		switch job {
+		case jobAudit:
+			pl.auditShard(w)
+		case jobMux:
+			pl.muxShard(w)
+		}
+		pl.wg.Done()
+	}
+}
+
+// runStage signals every worker and blocks until the stage barrier.
+func (pl *workerPool) runStage(job stageJob) {
+	pl.wg.Add(pl.workers)
+	for _, ch := range pl.wake {
+		ch <- job
+	}
+	pl.wg.Wait()
+}
+
+// firstErr returns the first recorded shard error in shard order — the
+// violation with the lowest port index, matching the serial loop's choice.
+func (pl *workerPool) firstErr() error {
+	for _, err := range pl.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auditShard runs stage 3 over worker w's inputs.
+func (pl *workerPool) auditShard(w int) {
+	pl.errs[w] = nil
+	for i := pl.inLo[w]; i < pl.inHi[w]; i++ {
+		if err := pl.p.auditInput(i); err != nil {
+			pl.errs[w] = err
+			return
+		}
+	}
+}
+
+// muxShard runs stage 4 over worker w's outputs.
+func (pl *workerPool) muxShard(w int) {
+	p := pl.p
+	pl.errs[w] = nil
+	for j := pl.outLo[w]; j < pl.outHi[w]; j++ {
+		pv := &p.pviews[j]
+		pv.t = pl.t
+		pv.pulls = pl.pulls[w]
+		if p.logArmed {
+			pv.events = &pl.events[w]
+		}
+		c, ok, err := p.outputs[j].Step(pl.t, pv)
+		pv.pulls, pv.events = nil, nil
+		if err != nil {
+			pl.errs[w] = err
+			return
+		}
+		if !ok {
+			pl.depHas[j] = false
+			continue
+		}
+		if err := p.checkFlowOrder(c); err != nil {
+			pl.errs[w] = err
+			return
+		}
+		pl.depCell[j] = c
+		pl.depHas[j] = true
+	}
+}
+
+// stepSharded executes stages 3 and 4 of one slot on the pool and appends
+// the slot's departures to dst in ascending output order. It must only be
+// called by the goroutine driving Step, with the tracer detached.
+func (p *PPS) stepSharded(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
+	pl := p.pool
+	pl.t = t
+
+	pl.runStage(jobAudit)
+	if err := pl.firstErr(); err != nil {
+		return dst, err
+	}
+
+	pl.runStage(jobMux)
+	// Reconcile the deferred plane pops and replay buffered log events
+	// before surfacing any error, so counters and the log stay consistent
+	// with the pops that actually happened.
+	for w := 0; w < pl.workers; w++ {
+		pulls := pl.pulls[w]
+		for k, n := range pulls {
+			if n != 0 {
+				p.planes[k].AddBacklogDelta(-n)
+				pulls[k] = 0
+			}
+		}
+	}
+	if p.logArmed {
+		for w := 0; w < pl.workers; w++ {
+			for _, e := range pl.events[w] {
+				p.log.Append(e)
+			}
+			pl.events[w] = pl.events[w][:0]
+		}
+	}
+	if err := pl.firstErr(); err != nil {
+		return dst, err
+	}
+	for j := 0; j < p.cfg.N; j++ {
+		if !pl.depHas[j] {
+			continue
+		}
+		p.departed++
+		dst = append(dst, pl.depCell[j])
+	}
+	return dst, nil
+}
+
+// Workers reports the effective worker count of the stage-parallel engine
+// (0 for the serial engine).
+func (p *PPS) Workers() int {
+	if p.pool == nil {
+		return 0
+	}
+	return p.pool.workers
+}
+
+// Close stops the worker pool's goroutines. It is safe to call on a serial
+// fabric and more than once; after Close, Step keeps working through the
+// serial engine (bit-identical results), so callers that outlive a run —
+// harness.Drive closes the pool when a run finishes — can still inspect or
+// step the fabric. Close must not be called concurrently with Step.
+func (p *PPS) Close() {
+	if p.pool == nil || p.pool.closed {
+		return
+	}
+	p.pool.closed = true
+	for _, ch := range p.pool.wake {
+		close(ch)
+	}
+}

@@ -81,12 +81,16 @@ type slotStepper struct {
 }
 
 func newSlotStepper(tb testing.TB, src traffic.Source) *slotStepper {
-	pps, err := fabric.New(benchCfg(), rrFactory)
+	return newSlotStepperCfg(tb, benchCfg(), src)
+}
+
+func newSlotStepperCfg(tb testing.TB, cfg fabric.Config, src traffic.Source) *slotStepper {
+	pps, err := fabric.New(cfg, rrFactory)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	return &slotStepper{
-		tb: tb, pps: pps, sh: shadow.New(benchCfg().N),
+		tb: tb, pps: pps, sh: shadow.New(cfg.N),
 		st: cell.NewStamper(), rec: metrics.NewRecorder(), src: src,
 	}
 }
@@ -133,6 +137,34 @@ func TestSteadyStateSlotAllocFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(window, s.step)
 	if allocs != 0 {
 		t.Errorf("steady-state slot allocates: %.2f allocs/slot, want 0", allocs)
+	}
+}
+
+// TestParallelSlotAllocFree is the same guard for the stage-parallel
+// engine: with a 4-worker pool executing stages 3 and 4, the steady-state
+// slot must still not touch the heap — the pool is spawned once in
+// fabric.New, and every per-slot signal (buffered channel send, WaitGroup
+// add/wait) reuses persistent structures.
+func TestParallelSlotAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; guard only meaningful on plain builds")
+	}
+	const warm, window = 4096, 512
+	horizon := cell.Time(warm + window + 16)
+	cfg := benchCfg()
+	cfg.Workers = 4
+	s := newSlotStepperCfg(t, cfg, traffic.NewBernoulli(cfg.N, 0.6, horizon, 1))
+	defer s.pps.Close()
+	if s.pps.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", s.pps.Workers())
+	}
+	s.rec.Reserve(cfg.N * int(horizon))
+	for s.slot < warm {
+		s.step()
+	}
+	allocs := testing.AllocsPerRun(window, s.step)
+	if allocs != 0 {
+		t.Errorf("parallel steady-state slot allocates: %.2f allocs/slot, want 0", allocs)
 	}
 }
 

@@ -53,6 +53,15 @@ type Options struct {
 	// (harness_* counters and histograms) at the end of the run. A single
 	// registry may be shared across runs; it is concurrency-safe.
 	Metrics *obs.Registry
+	// Workers engages the stage-parallel engines: 0 (the default) runs
+	// everything serially, -1 picks a fabric worker count from GOMAXPROCS
+	// and N (fabric.ResolveWorkers), and a positive value uses exactly
+	// that many fabric workers. Any non-zero value also overlaps the
+	// shadow-switch step with the PPS step inside Drive (both consume the
+	// same arrival stream and synchronize at slot end). Results are
+	// bit-identical across all settings; Run forwards the value to
+	// fabric.Config.Workers when the config leaves it zero.
+	Workers int
 }
 
 // Result summarizes a matched execution.
@@ -81,6 +90,9 @@ type Result struct {
 // Run executes src through a fresh PPS built from cfg and factory, and
 // through the shadow switch, until both drain.
 func Run(cfg fabric.Config, factory func(demux.Env) (demux.Algorithm, error), src traffic.Source, opts Options) (Result, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = opts.Workers
+	}
 	pps, err := fabric.New(cfg, factory)
 	if err != nil {
 		return Result{}, err
@@ -94,6 +106,13 @@ func Run(cfg fabric.Config, factory func(demux.Env) (demux.Algorithm, error), sr
 	return Drive(pps, src, opts)
 }
 
+// shadowSlot is one slot of work handed to the overlapped shadow pipeline:
+// the slot index and the stamped arrivals (read-only for both switches).
+type shadowSlot struct {
+	t     cell.Time
+	cells []cell.Cell
+}
+
 // slotView adapts the matched execution for obs.Probe sampling. It is
 // refreshed (slot and front-RQD) each slot and handed to every probe.
 type slotView struct {
@@ -104,18 +123,18 @@ type slotView struct {
 	rqdOK bool
 }
 
-func (v *slotView) Slot() cell.Time            { return v.slot }
-func (v *slotView) Ports() int                 { return v.pps.Config().N }
-func (v *slotView) Planes() int                { return v.pps.Config().K }
-func (v *slotView) PlaneBacklog(k int) int     { return v.pps.Plane(cell.Plane(k)).Backlog() }
-func (v *slotView) PlanePeak(k int) int        { return v.pps.Plane(cell.Plane(k)).PeakQueue() }
-func (v *slotView) InputDepth(i int) int       { return v.pps.InputPending(cell.Port(i)) }
-func (v *slotView) OutputBuffered(j int) int   { return v.pps.Output(cell.Port(j)).Buffered() }
-func (v *slotView) OutputPulls(j int) int64    { return v.pps.OutputPulls(cell.Port(j)) }
-func (v *slotView) DispatchedTo(k int) uint64  { return v.pps.DispatchedTo(cell.Plane(k)) }
-func (v *slotView) PPSInFlight() int           { return v.pps.Backlog() }
-func (v *slotView) ShadowInFlight() int        { return v.sh.Backlog() }
-func (v *slotView) FrontRQD() (int64, bool)    { return int64(v.rqd), v.rqdOK }
+func (v *slotView) Slot() cell.Time           { return v.slot }
+func (v *slotView) Ports() int                { return v.pps.Config().N }
+func (v *slotView) Planes() int               { return v.pps.Config().K }
+func (v *slotView) PlaneBacklog(k int) int    { return v.pps.Plane(cell.Plane(k)).Backlog() }
+func (v *slotView) PlanePeak(k int) int       { return v.pps.Plane(cell.Plane(k)).PeakQueue() }
+func (v *slotView) InputDepth(i int) int      { return v.pps.InputPending(cell.Port(i)) }
+func (v *slotView) OutputBuffered(j int) int  { return v.pps.Output(cell.Port(j)).Buffered() }
+func (v *slotView) OutputPulls(j int) int64   { return v.pps.OutputPulls(cell.Port(j)) }
+func (v *slotView) DispatchedTo(k int) uint64 { return v.pps.DispatchedTo(cell.Plane(k)) }
+func (v *slotView) PPSInFlight() int          { return v.pps.Backlog() }
+func (v *slotView) ShadowInFlight() int       { return v.sh.Backlog() }
+func (v *slotView) FrontRQD() (int64, bool)   { return int64(v.rqd), v.rqdOK }
 
 // Drive is Run against an existing PPS (so callers can inject plane
 // failures or inspect internals afterwards). The PPS must be fresh (slot -1):
@@ -143,6 +162,10 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 	if opts.Tracer != nil {
 		pps.SetTracer(opts.Tracer)
 	}
+	// The fabric's worker pool (if any) outlives the run only to leak
+	// goroutines; a driven fabric can never be driven again, so close it.
+	// Close keeps the fabric inspectable and serially steppable.
+	defer pps.Close()
 	sh := shadow.New(cfg.N)
 	st := cell.NewStamper()
 	rec := metrics.NewRecorder()
@@ -154,6 +177,30 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 	var view *slotView
 	if probing {
 		view = &slotView{pps: pps, sh: sh}
+	}
+
+	// Overlapped shadow pipeline: with Workers != 0 the shadow switch
+	// steps on its own persistent goroutine while the PPS steps on this
+	// one. Both only read the slot's stamped cells; the recorder is fed
+	// exclusively from this goroutine, in the serial order (PPS departures
+	// first, then shadow departures), after the slot-end synchronization —
+	// so results stay bit-identical to the serial loop. The channels are
+	// buffered so the per-slot handoff never allocates or blocks the
+	// worker on send.
+	overlap := opts.Workers != 0
+	var shadowIn chan shadowSlot
+	var shadowOut chan []cell.Cell
+	if overlap {
+		shadowIn = make(chan shadowSlot, 1)
+		shadowOut = make(chan []cell.Cell, 1)
+		go func() {
+			var out []cell.Cell
+			for job := range shadowIn {
+				out = sh.Step(job.t, job.cells, out[:0])
+				shadowOut <- out
+			}
+		}()
+		defer close(shadowIn)
 	}
 
 	var buf []traffic.Arrival
@@ -179,6 +226,9 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 			}
 			cellsBuf = cells
 		}
+		if overlap {
+			shadowIn <- shadowSlot{t: slot, cells: cells}
+		}
 		deps, err = pps.Step(slot, cells, deps[:0])
 		if err != nil {
 			return Result{}, err
@@ -189,7 +239,15 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 				opts.OnPPSDepart(d)
 			}
 		}
-		shDeps = sh.Step(slot, cells, shDeps[:0])
+		if overlap {
+			// Slot-end synchronization: the worker hands back its own
+			// departure buffer; it will not touch it again until the next
+			// shadowIn send, which happens only after this goroutine is
+			// done reading (and after cells is rebuilt next iteration).
+			shDeps = <-shadowOut
+		} else {
+			shDeps = sh.Step(slot, cells, shDeps[:0])
+		}
 		for _, d := range shDeps {
 			rec.ShadowDepart(d)
 		}

@@ -88,6 +88,19 @@ func (p *Plane) Pop(j cell.Port) cell.Cell {
 	return c
 }
 
+// PopDeferred removes and returns the head cell for output j without
+// updating the plane-wide backlog counter. The fabric's sharded mux stage
+// uses it so concurrent per-output workers touch only their own queue; the
+// caller must reconcile the counter with AddBacklogDelta after its stage
+// barrier, before anything reads Backlog again.
+func (p *Plane) PopDeferred(j cell.Port) cell.Cell {
+	return p.queues[j].Pop()
+}
+
+// AddBacklogDelta adjusts the backlog counter by d (negative for pops taken
+// through PopDeferred). It must only be called from a single goroutine.
+func (p *Plane) AddBacklogDelta(d int) { p.total += d }
+
 // Backlog reports the total number of cells queued in the plane.
 func (p *Plane) Backlog() int { return p.total }
 

@@ -90,6 +90,13 @@ type Config struct {
 // Speedup returns S = K / r'.
 func (c Config) Speedup() float64 { return float64(c.K) / float64(c.RPrime) }
 
+// ResolveWorkers reports the effective stage-parallel worker count an
+// Options.Workers request resolves to for an N-port switch: 0 means the
+// serial engine, a positive value the size of the persistent worker pool.
+// -1 (auto) derives the count from GOMAXPROCS and N and falls back to
+// serial when the per-slot barrier would cost more than the sharded work.
+func ResolveWorkers(workers, n int) int { return fabric.ResolveWorkers(workers, n) }
+
 // fabricConfig lowers the public config.
 func (c Config) fabricConfig() fabric.Config {
 	fc := fabric.Config{
