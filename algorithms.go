@@ -47,10 +47,27 @@ type Algorithm struct {
 	// Capacity bounds each input buffer for "buffered-rr" (<= 0 means
 	// unbounded).
 	Capacity int
+	// FaultAware wraps the algorithm with failure-aware dispatch: failed
+	// planes are masked from its candidate set (their input gates appear
+	// permanently busy), so dispatch routes around outages instead of
+	// losing cells to dead planes. The report name becomes
+	// "faultaware(<name>)".
+	FaultAware bool
 }
 
 // factory lowers the spec to a demux constructor.
 func (a Algorithm) factory() (func(demux.Env) (demux.Algorithm, error), error) {
+	base, err := a.baseFactory()
+	if err != nil {
+		return nil, err
+	}
+	if !a.FaultAware {
+		return base, nil
+	}
+	return func(e demux.Env) (demux.Algorithm, error) { return demux.NewFaultAware(e, base) }, nil
+}
+
+func (a Algorithm) baseFactory() (func(demux.Env) (demux.Algorithm, error), error) {
 	switch a.Name {
 	case "rr":
 		return func(e demux.Env) (demux.Algorithm, error) { return demux.NewRoundRobin(e, demux.PerInput) }, nil

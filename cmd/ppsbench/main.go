@@ -54,6 +54,9 @@ type benchResult struct {
 	// (zero) in files written before the field existed, which also reads
 	// correctly: those runs were serial.
 	WorkersResolved int `json:"workers_resolved,omitempty"`
+	// Drops counts cells lost to injected plane faults (DropCount policy);
+	// absent in fault-free runs.
+	Drops uint64 `json:"drops,omitempty"`
 }
 
 // benchFile is the stable schema of a BENCH_<rev>.json file. Fields added
@@ -70,10 +73,15 @@ type benchFile struct {
 	// GoMaxProcs and NumCPU record the parallelism available on the
 	// benchmarking machine; Workers echoes the -workers request. Together
 	// they make slots/sec figures comparable across machines.
-	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
-	NumCPU     int           `json:"num_cpu,omitempty"`
-	Workers    int           `json:"workers,omitempty"`
-	Results    []benchResult `json:"results"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
+	Workers    int `json:"workers,omitempty"`
+	// Faults and FaultPolicy echo the -faults / -fault-policy flags when a
+	// fault schedule was injected; absent for fault-free baselines, so
+	// older files read (and diff) unchanged.
+	Faults      string        `json:"faults,omitempty"`
+	FaultPolicy string        `json:"fault_policy,omitempty"`
+	Results     []benchResult `json:"results"`
 }
 
 // suite returns the fixed benchmark matrix. horizon scales every case; the
@@ -136,8 +144,11 @@ func buildSource(c benchCase) (ppsim.Source, error) {
 	}
 }
 
-// run executes one case and measures throughput and allocation rate.
-func run(c benchCase, workers int) (benchResult, error) {
+// run executes one case and measures throughput and allocation rate. A
+// non-nil schedule injects the same faults into every case (planes beyond a
+// small case's K are skipped by construction: the caller validates against
+// the smallest K in the suite).
+func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.FaultPolicy) (benchResult, error) {
 	src, err := buildSource(c)
 	if err != nil {
 		return benchResult{}, err
@@ -147,7 +158,7 @@ func run(c benchCase, workers int) (benchResult, error) {
 		DisableChecks: true,
 		Algorithm:     ppsim.Algorithm{Name: "rr", Seed: c.Seed},
 	}
-	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8, Workers: workers}
+	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8, Workers: workers, Faults: sched, FaultPolicy: policy}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -168,6 +179,7 @@ func run(c benchCase, workers int) (benchResult, error) {
 		WallSeconds:     wall.Seconds(),
 		MaxRQD:          int64(res.Report.MaxRQD),
 		WorkersResolved: ppsim.ResolveWorkers(workers, c.N),
+		Drops:           res.Drops,
 	}
 	if wall > 0 {
 		out.SlotsPerSec = float64(slots) / wall.Seconds()
@@ -209,10 +221,37 @@ func main() {
 		outDir  = flag.String("out", ".", "directory to write the JSON report into")
 		filter  = flag.String("filter", "", "run only cases whose name contains this substring")
 		quick   = flag.Bool("quick", false, "short horizons (CI smoke run)")
-		slots   = flag.Int64("slots", 20000, "traffic horizon per case in slots")
-		workers = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
+		slots     = flag.Int64("slots", 20000, "traffic horizon per case in slots")
+		workers   = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
+		faultSpec = flag.String("faults", "", "fault schedule injected into every case, e.g. fail:0@1000,recover:0@3000")
+		faultPol  = flag.String("fault-policy", "abort", "degradation policy: abort or dropcount")
 	)
 	flag.Parse()
+
+	schedule, err := ppsim.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(2)
+	}
+	policy, err := ppsim.ParseFaultPolicy(*faultPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(2)
+	}
+	// Every suite case has K >= 2; validating against the smallest K keeps
+	// one schedule legal for the whole matrix.
+	if err := schedule.Validate(2); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(2)
+	}
+	if schedule.HasLoss() && policy != ppsim.FaultDropCount {
+		fmt.Fprintln(os.Stderr, "ppsbench: -faults loss terms require -fault-policy dropcount")
+		os.Exit(2)
+	}
+	var sched *ppsim.FaultSchedule
+	if !schedule.Empty() {
+		sched = schedule
+	}
 
 	horizon := *slots
 	if *quick {
@@ -232,11 +271,15 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Workers:    *workers,
 	}
+	if sched != nil {
+		report.Faults = sched.String()
+		report.FaultPolicy = policy.String()
+	}
 	for _, c := range suite(horizon) {
 		if *filter != "" && !strings.Contains(c.Name, *filter) {
 			continue
 		}
-		res, err := run(c, *workers)
+		res, err := run(c, *workers, sched, policy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsbench:", err)
 			os.Exit(1)

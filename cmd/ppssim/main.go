@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"ppsim"
 )
@@ -36,14 +38,46 @@ func main() {
 		algs    = flag.Bool("algs", false, "list algorithms and exit")
 		verbose = flag.Bool("v", false, "print utilization per output")
 		workers = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
-		trace   = flag.String("trace", "", "write a JSONL event trace to FILE")
-		series  = flag.String("series", "", "write per-slot probe series CSV to FILE")
-		stride  = flag.Int64("stride", 1, "sample every stride-th slot (with -series)")
+		trace      = flag.String("trace", "", "write a JSONL event trace to FILE")
+		series     = flag.String("series", "", "write per-slot probe series CSV to FILE")
+		stride     = flag.Int64("stride", 1, "sample every stride-th slot (with -series)")
+		failPlanes = flag.String("fail-planes", "", "comma-separated plane IDs failed before slot 0")
+		faultSpec  = flag.String("faults", "", "fault schedule, e.g. fail:0@100,recover:0@500,loss:2@0.001,seed:7")
+		faultPol   = flag.String("fault-policy", "abort", "degradation policy: abort or dropcount")
+		faultaware = flag.Bool("faultaware", false, "wrap the algorithm with failure-aware dispatch (masks failed planes)")
 	)
 	flag.Parse()
 
 	if err := validateStride(*stride); err != nil {
 		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed, err := parseFailPlanes(*failPlanes, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	policy, err := ppsim.ParseFaultPolicy(*faultPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	schedule, err := ppsim.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := schedule.Validate(*k); err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if schedule.HasLoss() && policy != ppsim.FaultDropCount {
+		fmt.Fprintln(os.Stderr, "ppssim: -faults loss terms require -fault-policy dropcount")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -59,7 +93,7 @@ func main() {
 		N: *n, K: *k, RPrime: *rprime,
 		BufferCap: *bufcap,
 		LazyMux:   *lazy,
-		Algorithm: ppsim.Algorithm{Name: *alg, D: *d, U: ppsim.Time(*u), H: *h, Seed: *seed, Capacity: *cap},
+		Algorithm: ppsim.Algorithm{Name: *alg, D: *d, U: ppsim.Time(*u), H: *h, Seed: *seed, Capacity: *cap, FaultAware: *faultaware},
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ppssim:", err)
@@ -76,9 +110,14 @@ func main() {
 	}
 
 	opts := ppsim.Options{
-		Horizon:  ppsim.Time(*slots) * 8,
-		Validate: true,
-		Workers:  *workers,
+		Horizon:     ppsim.Time(*slots) * 8,
+		Validate:    true,
+		Workers:     *workers,
+		FailPlanes:  failed,
+		FaultPolicy: policy,
+	}
+	if !schedule.Empty() {
+		opts.Faults = schedule
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -167,4 +206,28 @@ func validateStride(stride int64) error {
 		return fmt.Errorf("-stride must be >= 1, got %d", stride)
 	}
 	return nil
+}
+
+// parseFailPlanes parses the -fail-planes list and validates every ID
+// against K, reporting all bad entries in one error.
+func parseFailPlanes(spec string, k int) ([]ppsim.PlaneID, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var planes []ppsim.PlaneID
+	var bad []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		id, err := strconv.Atoi(part)
+		if err != nil || id < 0 || id >= k {
+			bad = append(bad, part)
+			continue
+		}
+		planes = append(planes, ppsim.PlaneID(id))
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("-fail-planes: invalid plane(s) %s (planes are 0..%d)", strings.Join(bad, ", "), k-1)
+	}
+	return planes, nil
 }

@@ -16,9 +16,11 @@ import (
 
 	"ppsim/internal/cell"
 	"ppsim/internal/demux"
+	"ppsim/internal/faults"
 	"ppsim/internal/mux"
 	"ppsim/internal/obs"
 	"ppsim/internal/plane"
+	"ppsim/internal/queue"
 	"ppsim/internal/timing"
 )
 
@@ -51,6 +53,13 @@ type Config struct {
 	// N (see ResolveWorkers). Any worker count produces bit-identical
 	// results to the serial engine.
 	Workers int
+	// Faults is the plane fail/recover schedule applied at the start of
+	// each slot; nil (or an empty schedule) injects nothing.
+	Faults *faults.Schedule
+	// FaultPolicy decides what a dispatch into a failed plane means:
+	// faults.Abort (default) keeps the model's no-drop semantics and
+	// errors; faults.DropCount converts the loss into accounted drops.
+	FaultPolicy faults.Policy
 }
 
 // Speedup returns S = K / r'.
@@ -72,6 +81,17 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < -1 {
 		return fmt.Errorf("fabric: Workers must be -1 (auto), 0 (serial) or positive, got %d", c.Workers)
+	}
+	if c.FaultPolicy != faults.Abort && c.FaultPolicy != faults.DropCount {
+		return fmt.Errorf("fabric: unknown fault policy %v", c.FaultPolicy)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.K); err != nil {
+			return fmt.Errorf("fabric: %w", err)
+		}
+		if c.Faults.HasLoss() && c.FaultPolicy != faults.DropCount {
+			return fmt.Errorf("fabric: cell-loss injection requires FaultPolicy DropCount (Abort forbids drops)")
+		}
 	}
 	return nil
 }
@@ -130,6 +150,25 @@ type PPS struct {
 	// shrinks the serial departure path's map pressure at large N.
 	lastFlowSeq []map[cell.Port]uint64
 
+	// faults applies the configured schedule; nil when the schedule is
+	// empty, so fault-free runs pay nothing.
+	faults *faults.Runtime
+	// dropped counts cells lost under the DropCount policy; slotDrops
+	// lists the current slot's losses for the harness's drop accounting
+	// (reset at the top of every Step, capacity reused).
+	dropped   uint64
+	slotDrops []cell.Cell
+	// failScratch is the reusable buffer FailDrop drains a dying plane's
+	// backlog into.
+	failScratch []cell.Cell
+	// dropGaps[out][in], allocated only under DropCount, records the
+	// FlowSeqs of dropped cells so checkFlowOrder can verify that a
+	// departure gap is exactly the flow's accounted drops. Min-heaps:
+	// multiple plane failures can drop a flow's cells out of FlowSeq
+	// order. Written in the serial phases (slot start, dispatch), consumed
+	// by the output's own mux shard after the stage barrier.
+	dropGaps []map[cell.Port]*queue.Heap[uint64]
+
 	// pool is the stage-parallel worker pool, nil for the serial engine.
 	pool *workerPool
 }
@@ -170,6 +209,17 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 	for j := range p.pviews {
 		p.pviews[j] = planeView{p: p, j: cell.Port(j)}
 	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		p.faults = faults.NewRuntime(cfg.Faults, cfg.K)
+	}
+	if cfg.FaultPolicy == faults.DropCount {
+		// Allocated on policy, not schedule: planes failed before slot 0
+		// (harness FailPlanes) drop under DropCount with no schedule at all.
+		p.dropGaps = make([]map[cell.Port]*queue.Heap[uint64], cfg.N)
+		for j := range p.dropGaps {
+			p.dropGaps[j] = make(map[cell.Port]*queue.Heap[uint64])
+		}
+	}
 	alg, err := makeAlg(envView{p})
 	if err != nil {
 		return nil, err
@@ -194,6 +244,10 @@ func (e envView) Log() *demux.Log {
 func (e envView) InputGateFreeAt(in cell.Port, k cell.Plane) cell.Time {
 	return e.p.inGates.Gate(int(in), int(k)).FreeAt()
 }
+
+// PlaneUp implements the optional demux.PlaneHealth capability: fault-aware
+// wrappers mask planes for which it reports false.
+func (e envView) PlaneUp(k cell.Plane) bool { return !e.p.planes[k].Failed() }
 
 // Config returns the switch geometry.
 func (p *PPS) Config() Config { return p.cfg }
@@ -261,15 +315,79 @@ func (p *PPS) auditInput(i int) error {
 // checkFlowOrder verifies and records per-flow order preservation for a
 // departing cell. The per-output lastFlowSeq shard is written only by the
 // goroutine driving output c.Flow.Out, so output shards need no locking.
+// Under DropCount a flow's departures may skip FlowSeqs, but only FlowSeqs
+// the fabric itself recorded as dropped — any other gap is still a
+// violation.
 func (p *PPS) checkFlowOrder(c cell.Cell) error {
 	seqs := p.lastFlowSeq[c.Flow.Out]
-	if last, seen := seqs[c.Flow.In]; seen && c.FlowSeq != last+1 {
+	last, seen := seqs[c.Flow.In]
+	expect := uint64(0)
+	if seen {
+		expect = last + 1
+	}
+	if c.FlowSeq != expect && p.dropGaps != nil {
+		// The per-output dropGaps shard is filled in the serial phases and
+		// consumed only here, by the shard that owns output c.Flow.Out.
+		if h := p.dropGaps[c.Flow.Out][c.Flow.In]; h != nil {
+			for !h.Empty() && h.Peek() == expect {
+				h.Pop()
+				expect++
+			}
+		}
+	}
+	if c.FlowSeq != expect {
+		if !seen {
+			return fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq)
+		}
 		return fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, last)
-	} else if !seen && c.FlowSeq != 0 {
-		return fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq)
 	}
 	seqs[c.Flow.In] = c.FlowSeq
 	return nil
+}
+
+// recordDrop accounts one cell lost under the DropCount policy: the run
+// total, the slot's drop list (the harness turns it into per-plane and
+// per-input counters), the order referee's gap heap, and the output
+// resequencer's skip set — the flow's successors must not park forever
+// behind a cell that will never be delivered. Called only from the serial
+// phases of Step, so the mux shards observe a consistent view after the
+// stage barrier.
+func (p *PPS) recordDrop(t cell.Time, c cell.Cell) {
+	p.dropped++
+	p.slotDrops = append(p.slotDrops, c)
+	m := p.dropGaps[c.Flow.Out]
+	h := m[c.Flow.In]
+	if h == nil {
+		h = queue.NewHeap(func(a, b uint64) bool { return a < b })
+		m[c.Flow.In] = h
+	}
+	h.Push(c.FlowSeq)
+	p.outputs[c.Flow.Out].Skip(c.Flow, c.FlowSeq)
+	if p.trace {
+		p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDrop, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
+	}
+}
+
+// applyFaults executes the schedule events due at slot t. Under DropCount a
+// failing plane's backlog is drained and accounted as drops; under Abort the
+// plane keeps draining its backlog (the output-side lines are assumed
+// intact) and only new dispatches into it error.
+func (p *PPS) applyFaults(t cell.Time) {
+	for _, e := range p.faults.Due(t) {
+		switch e.Kind {
+		case faults.Recover:
+			p.planes[e.Plane].Recover()
+		case faults.Fail:
+			if p.cfg.FaultPolicy == faults.DropCount {
+				p.failScratch = p.planes[e.Plane].FailDrop(p.failScratch[:0])
+				for _, c := range p.failScratch {
+					p.recordDrop(t, c)
+				}
+			} else {
+				p.planes[e.Plane].Fail()
+			}
+		}
+	}
 }
 
 // planeView adapts the center stage for one output's multiplexor.
@@ -333,6 +451,14 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 	}
 	p.lastSlot = t
 
+	// 0. Scheduled faults, before this slot's arrivals are presented.
+	if len(p.slotDrops) > 0 {
+		p.slotDrops = p.slotDrops[:0]
+	}
+	if p.faults != nil {
+		p.applyFaults(t)
+	}
+
 	// 1. Arrivals.
 	for _, c := range arrivals {
 		if c.Arrive != t {
@@ -380,6 +506,20 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 		c.Via = s.Plane
 		if p.trace {
 			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDispatch, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: s.Plane})
+		}
+		if p.cfg.FaultPolicy == faults.DropCount {
+			// Dead-plane dispatches and loss-stream losses become accounted
+			// drops. No demux.Log EvDispatch for a dropped cell: a logged
+			// dispatch with no matching EvXmit would make log-derived
+			// backlogs (stale-cpa) see the cell as queued forever.
+			if p.planes[s.Plane].Failed() {
+				p.recordDrop(t, c)
+				continue
+			}
+			if p.faults != nil && p.faults.Lose(s.Plane) {
+				p.recordDrop(t, c)
+				continue
+			}
 		}
 		if err := p.planes[s.Plane].Enqueue(c); err != nil {
 			return dst, p.violation(t, err)
@@ -440,7 +580,9 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 	return dst, nil
 }
 
-// audit checks cell conservation across the stages.
+// audit checks cell conservation across the stages. Accounted drops are a
+// legitimate cell fate under DropCount; p.dropped is always zero under
+// Abort.
 func (p *PPS) audit() error {
 	inPlanes := 0
 	for _, pl := range p.planes {
@@ -450,10 +592,10 @@ func (p *PPS) audit() error {
 	for _, o := range p.outputs {
 		inOutputs += o.Buffered()
 	}
-	total := uint64(p.pendingTotal+inPlanes+inOutputs) + p.departed
+	total := uint64(p.pendingTotal+inPlanes+inOutputs) + p.departed + p.dropped
 	if total != p.arrived {
-		return fmt.Errorf("fabric: conservation violated: arrived %d != pending %d + planes %d + outputs %d + departed %d",
-			p.arrived, p.pendingTotal, inPlanes, inOutputs, p.departed)
+		return fmt.Errorf("fabric: conservation violated: arrived %d != pending %d + planes %d + outputs %d + departed %d + dropped %d",
+			p.arrived, p.pendingTotal, inPlanes, inOutputs, p.departed, p.dropped)
 	}
 	return nil
 }
@@ -471,14 +613,36 @@ func (p *PPS) Backlog() int {
 	return n
 }
 
-// Drained reports whether every cell that arrived has departed.
-func (p *PPS) Drained() bool { return p.arrived == p.departed }
+// Drained reports whether every cell that arrived has left the switch —
+// departed on an external line or, under DropCount, lost to a failed plane.
+func (p *PPS) Drained() bool { return p.arrived == p.departed+p.dropped }
 
 // Arrived reports the number of cells accepted so far.
 func (p *PPS) Arrived() uint64 { return p.arrived }
 
 // Departed reports the number of cells emitted so far.
 func (p *PPS) Departed() uint64 { return p.departed }
+
+// Dropped reports the number of cells lost to failed planes (DropCount
+// policy); always zero under Abort.
+func (p *PPS) Dropped() uint64 { return p.dropped }
+
+// SlotDrops returns the cells dropped during the most recent Step, each with
+// Via set to the plane that lost it. The slice is the fabric's scratch
+// storage, valid until the next Step; the harness copies what it needs into
+// the drop counters.
+func (p *PPS) SlotDrops() []cell.Cell { return p.slotDrops }
+
+// LivePlanes reports the number of planes currently in service.
+func (p *PPS) LivePlanes() int {
+	n := 0
+	for _, pl := range p.planes {
+		if !pl.Failed() {
+			n++
+		}
+	}
+	return n
+}
 
 // PeakPlaneQueue reports the largest per-output backlog observed across all
 // planes — the buffer provisioning the measured delays imply (Section 1.2).

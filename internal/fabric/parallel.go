@@ -210,6 +210,15 @@ func (pl *workerPool) muxShard(w int) {
 // stepSharded executes stages 3 and 4 of one slot on the pool and appends
 // the slot's departures to dst in ascending output order. It must only be
 // called by the goroutine driving Step, with the tracer detached.
+//
+// Fault injection needs no changes here: every drop happens in the serial
+// phases of Step (schedule application at slot start, the dispatch loop of
+// stage 2), so by the time the shards run, the drop counters, the dropGaps
+// referee heaps, and the mux skip sets are final for the slot. The shards
+// only *read* fault state — checkFlowOrder consumes the dropGaps heap of its
+// own output, and Buffer.Skip-advanced resequencers release parked cells —
+// which keeps the sharded engine bit-identical to the serial one under any
+// schedule.
 func (p *PPS) stepSharded(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
 	pl := p.pool
 	pl.t = t

@@ -109,6 +109,9 @@ func (s *slotStepper) step() {
 	for _, d := range s.deps {
 		s.rec.PPSDepart(d)
 	}
+	for _, d := range s.pps.SlotDrops() {
+		s.rec.PPSDrop(d)
+	}
 	s.shDeps = s.sh.Step(s.slot, s.cells, s.shDeps[:0])
 	for _, d := range s.shDeps {
 		s.rec.ShadowDepart(d)

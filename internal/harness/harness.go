@@ -11,6 +11,7 @@ import (
 	"ppsim/internal/cell"
 	"ppsim/internal/demux"
 	"ppsim/internal/fabric"
+	"ppsim/internal/faults"
 	"ppsim/internal/metrics"
 	"ppsim/internal/obs"
 	"ppsim/internal/shadow"
@@ -31,11 +32,23 @@ type Options struct {
 	// Validate measures the traffic's leaky-bucket burstiness during the
 	// run (cheap; on by default in the public API).
 	Validate bool
-	// FailPlanes marks these planes failed before the first slot. The
-	// model forbids drops, so the run errors at the first dispatch into a
-	// failed plane — the fault-tolerance experiments use this to find
-	// which inputs a failure strands (Section 3 of the paper).
+	// FailPlanes marks these planes failed before the first slot.
+	// Duplicate IDs are applied once; out-of-range IDs error before the
+	// run starts. Under the default Abort policy the run errors at the
+	// first dispatch into a failed plane — the fault-tolerance experiments
+	// use this to find which inputs a failure strands (Section 3 of the
+	// paper); under FaultPolicy DropCount those dispatches become
+	// accounted drops instead.
 	FailPlanes []cell.Plane
+	// Faults schedules mid-run plane fail/recover events (and optional
+	// per-plane cell loss); nil injects nothing. Forwarded to
+	// fabric.Config.Faults when the config leaves it nil.
+	Faults *faults.Schedule
+	// FaultPolicy decides what a dispatch into a failed plane means:
+	// faults.Abort (default, the model's no-drop semantics) or
+	// faults.DropCount (accounted losses, Result.Drops). Forwarded to
+	// fabric.Config.FaultPolicy when the config leaves it Abort.
+	FaultPolicy faults.Policy
 	// Utilization computes Result.Utilization, the per-output busy
 	// fractions. Opt-in: it is O(N) per run and most internal callers
 	// never read it; the public ppsim.Run turns it on to keep its
@@ -85,6 +98,10 @@ type Result struct {
 	TraceEvents uint64
 	// AlgorithmName echoes the algorithm under test.
 	AlgorithmName string
+	// Drops is the number of cells lost to failed planes under the
+	// DropCount fault policy (0 under Abort); Report.DropsPerPlane and
+	// Report.DropsPerInput break it down.
+	Drops uint64
 }
 
 // Run executes src through a fresh PPS built from cfg and factory, and
@@ -93,15 +110,41 @@ func Run(cfg fabric.Config, factory func(demux.Env) (demux.Algorithm, error), sr
 	if cfg.Workers == 0 {
 		cfg.Workers = opts.Workers
 	}
+	if cfg.Faults == nil {
+		cfg.Faults = opts.Faults
+	}
+	if cfg.FaultPolicy == faults.Abort {
+		cfg.FaultPolicy = opts.FaultPolicy
+	}
 	pps, err := fabric.New(cfg, factory)
 	if err != nil {
 		return Result{}, err
 	}
-	for _, k := range opts.FailPlanes {
-		if int(k) < 0 || int(k) >= cfg.K {
-			return Result{}, fmt.Errorf("harness: cannot fail nonexistent plane %d", k)
+	// Deduplicate (Fail is idempotent, but double-failing silently hid
+	// typos) and reject every out-of-range ID in one error, before any
+	// plane is touched.
+	if len(opts.FailPlanes) > 0 {
+		seen := make(map[cell.Plane]bool, len(opts.FailPlanes))
+		var uniq []cell.Plane
+		var bad []string
+		for _, k := range opts.FailPlanes {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if int(k) < 0 || int(k) >= cfg.K {
+				bad = append(bad, fmt.Sprint(k))
+				continue
+			}
+			uniq = append(uniq, k)
 		}
-		pps.Plane(k).Fail()
+		if len(bad) > 0 {
+			return Result{}, fmt.Errorf("harness: cannot fail nonexistent plane(s) %s (planes are 0..%d)",
+				strings.Join(bad, ", "), cfg.K-1)
+		}
+		for _, k := range uniq {
+			pps.Plane(k).Fail()
+		}
 	}
 	return Drive(pps, src, opts)
 }
@@ -135,6 +178,8 @@ func (v *slotView) DispatchedTo(k int) uint64 { return v.pps.DispatchedTo(cell.P
 func (v *slotView) PPSInFlight() int          { return v.pps.Backlog() }
 func (v *slotView) ShadowInFlight() int       { return v.sh.Backlog() }
 func (v *slotView) FrontRQD() (int64, bool)   { return int64(v.rqd), v.rqdOK }
+func (v *slotView) LivePlanes() int           { return v.pps.LivePlanes() }
+func (v *slotView) DroppedTotal() uint64      { return v.pps.Dropped() }
 
 // Drive is Run against an existing PPS (so callers can inject plane
 // failures or inspect internals afterwards). The PPS must be fresh (slot -1):
@@ -239,6 +284,11 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 				opts.OnPPSDepart(d)
 			}
 		}
+		// Drops, like departures, are fed to the recorder only from this
+		// goroutine — the overlapped shadow pipeline never touches it.
+		for _, d := range pps.SlotDrops() {
+			rec.PPSDrop(d)
+		}
 		if overlap {
 			// Slot-end synchronization: the worker hands back its own
 			// departure buffer; it will not touch it again until the next
@@ -292,6 +342,7 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		AlgorithmName:  pps.Algorithm().Name(),
 		TraceEvents:    opts.Tracer.Events(),
 	}
+	res.Drops = res.Report.Drops
 	if vd != nil {
 		res.Burstiness = vd.Burstiness()
 	}
@@ -309,6 +360,7 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		m.Counter("harness_slots").Add(int64(slot))
 		m.Counter("harness_cells").Add(int64(res.Report.Cells))
 		m.Counter("harness_trace_events").Add(int64(res.TraceEvents))
+		m.Counter("harness_drops").Add(int64(res.Drops))
 		m.Gauge("harness_last_peak_plane_queue").Set(int64(res.PeakPlaneQueue))
 		m.Histogram("harness_max_rqd", 8, 64).Add(int64(res.Report.MaxRQD))
 	}

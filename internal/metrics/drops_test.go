@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func drop(seq, flowSeq uint64, f cell.Flow, arrive cell.Time, via cell.Plane) cell.Cell {
+	c := cell.New(seq, flowSeq, f, arrive)
+	c.Via = via
+	return c
+}
+
+func TestDropsAccounting(t *testing.T) {
+	r := NewRecorder()
+	f0 := cell.Flow{In: 0, Out: 0}
+	f1 := cell.Flow{In: 1, Out: 0}
+	// Cell 0 survives; cells 1 and 2 are dropped by planes 2 and 0.
+	r.ShadowDepart(dep(0, 0, f0, 0, 0))
+	r.PPSDepart(dep(0, 0, f0, 0, 4))
+	r.ShadowDepart(dep(1, 1, f0, 1, 1))
+	r.PPSDrop(drop(1, 1, f0, 1, 2))
+	r.ShadowDepart(dep(2, 0, f1, 1, 2))
+	r.PPSDrop(drop(2, 0, f1, 1, 0))
+	if r.Drops() != 2 {
+		t.Fatalf("Drops = %d, want 2", r.Drops())
+	}
+	rep := r.Report()
+	if rep.Drops != 2 || rep.Cells != 1 {
+		t.Errorf("Report drops=%d cells=%d, want 2/1", rep.Drops, rep.Cells)
+	}
+	// Dropped cells are excluded from delay statistics.
+	if rep.MaxRQD != 4 || rep.MeanRQD != 4 {
+		t.Errorf("RQD max=%d mean=%f; dropped cells leaked in", rep.MaxRQD, rep.MeanRQD)
+	}
+	if len(rep.DropsPerPlane) != 3 || rep.DropsPerPlane[0] != 1 || rep.DropsPerPlane[2] != 1 {
+		t.Errorf("DropsPerPlane = %v", rep.DropsPerPlane)
+	}
+	if len(rep.DropsPerInput) != 2 || rep.DropsPerInput[0] != 1 || rep.DropsPerInput[1] != 1 {
+		t.Errorf("DropsPerInput = %v", rep.DropsPerInput)
+	}
+	if s := rep.String(); !strings.Contains(s, "drops=2") {
+		t.Errorf("Report.String() = %q; missing drop count", s)
+	}
+}
+
+func TestNoDropsOmitsBreakdowns(t *testing.T) {
+	r := NewRecorder()
+	r.ShadowDepart(dep(0, 0, cell.Flow{}, 0, 0))
+	r.PPSDepart(dep(0, 0, cell.Flow{}, 0, 1))
+	rep := r.Report()
+	if rep.Drops != 0 || rep.DropsPerPlane != nil || rep.DropsPerInput != nil {
+		t.Errorf("fault-free report carries drop fields: %+v", rep)
+	}
+	if s := rep.String(); strings.Contains(s, "drops=") {
+		t.Errorf("fault-free String mentions drops: %q", s)
+	}
+}
+
+func TestDropThenDepartPanics(t *testing.T) {
+	r := NewRecorder()
+	c := dep(0, 0, cell.Flow{}, 0, 3)
+	r.PPSDrop(drop(0, 0, cell.Flow{}, 0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: a dropped cell cannot also depart")
+		}
+	}()
+	r.PPSDepart(c)
+}
+
+func TestDoubleDropPanics(t *testing.T) {
+	r := NewRecorder()
+	r.PPSDrop(drop(0, 0, cell.Flow{}, 0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for duplicate drop")
+		}
+	}()
+	r.PPSDrop(drop(0, 0, cell.Flow{}, 0, 1))
+}
+
+func TestReportPanicsOnDroppedWithoutShadow(t *testing.T) {
+	// A drop only balances the books together with its shadow departure —
+	// the reference switch never drops.
+	r := NewRecorder()
+	r.PPSDrop(drop(0, 0, cell.Flow{}, 0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: dropped cell never departed the shadow")
+		}
+	}()
+	r.Report()
+}

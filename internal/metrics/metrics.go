@@ -66,12 +66,24 @@ func (m *minmax) jitter() cell.Time {
 	return m.max - m.min
 }
 
+// dropMark flags a Seq the PPS dropped (DropCount fault policy) in the
+// ppsDep table: the cell will never depart the PPS, and recording either a
+// departure or a second drop for it is a harness bug.
+const dropMark = cell.Time(-2)
+
 // Recorder joins the two departure streams by global sequence number.
 // Departures may be reported in any order and from either switch first.
+// Cells the PPS dropped (failed planes under the DropCount policy) are
+// reported through PPSDrop; they depart the shadow switch — the reference
+// never drops — but are excluded from every delay statistic.
 type Recorder struct {
 	shadowDep []cell.Time // indexed by Seq; cell.None = not yet departed
 	ppsDep    []cell.Time
 	arriveAt  []cell.Time
+
+	drops         uint64
+	dropsPerPlane []uint64
+	dropsPerInput []uint64
 
 	rqd     stats.Summary
 	flowPPS map[cell.Flow]*minmax
@@ -163,12 +175,35 @@ func (r *Recorder) PPSDepart(c cell.Cell) {
 	r.tryMatch(c.Seq)
 }
 
+// PPSDrop records that the PPS lost cell c to a failed plane (c.Via names
+// the plane). The cell still departs the shadow switch; the drop satisfies
+// the recorder's every-cell-accounted check in its place.
+func (r *Recorder) PPSDrop(c cell.Cell) {
+	r.ppsDep = grow(r.ppsDep, c.Seq)
+	if r.ppsDep[c.Seq] != cell.None {
+		panic(fmt.Sprintf("metrics: PPS fate of cell %d recorded twice", c.Seq))
+	}
+	r.ppsDep[c.Seq] = dropMark
+	r.drops++
+	for int(c.Via) >= len(r.dropsPerPlane) {
+		r.dropsPerPlane = append(r.dropsPerPlane, 0)
+	}
+	r.dropsPerPlane[c.Via]++
+	for int(c.Flow.In) >= len(r.dropsPerInput) {
+		r.dropsPerInput = append(r.dropsPerInput, 0)
+	}
+	r.dropsPerInput[c.Flow.In]++
+}
+
+// Drops reports the number of cells the PPS dropped so far.
+func (r *Recorder) Drops() uint64 { return r.drops }
+
 func (r *Recorder) tryMatch(seq uint64) {
 	if uint64(len(r.shadowDep)) <= seq || uint64(len(r.ppsDep)) <= seq {
 		return
 	}
 	sd, pd := r.shadowDep[seq], r.ppsDep[seq]
-	if sd == cell.None || pd == cell.None {
+	if sd == cell.None || pd == cell.None || pd == dropMark {
 		return
 	}
 	d := pd - sd
@@ -190,7 +225,7 @@ func (r *Recorder) RQD(seq uint64) (cell.Time, bool) {
 		return 0, false
 	}
 	sd, pd := r.shadowDep[seq], r.ppsDep[seq]
-	if sd == cell.None || pd == cell.None {
+	if sd == cell.None || pd == cell.None || pd == dropMark {
 		return 0, false
 	}
 	return pd - sd, true
@@ -227,14 +262,22 @@ type Report struct {
 	MaxInputWait   cell.Time
 	MaxPlaneWait   cell.Time
 	MaxOutputWait  cell.Time
+	// Drops is the number of cells the PPS lost to failed planes under the
+	// DropCount fault policy (always 0 under Abort), with per-plane and
+	// per-input breakdowns (nil when no drops occurred). Dropped cells are
+	// excluded from every delay statistic above.
+	Drops         uint64
+	DropsPerPlane []uint64
+	DropsPerInput []uint64
 }
 
-// Report computes the execution summary. It panics if any cell departed one
-// switch but not the other (the harness must drain both).
+// Report computes the execution summary. It panics unless every cell is
+// accounted for: departed both switches, or departed the shadow and was
+// dropped by the PPS (the harness must drain both switches).
 func (r *Recorder) Report() Report {
-	if uint64(len(r.shadowDep)) != uint64(len(r.ppsDep)) || r.matched != uint64(len(r.ppsDep)) {
-		panic(fmt.Sprintf("metrics: unmatched departures (shadow %d, pps %d, matched %d)",
-			len(r.shadowDep), len(r.ppsDep), r.matched))
+	if r.matched+r.drops != uint64(len(r.shadowDep)) || uint64(len(r.ppsDep)) > uint64(len(r.shadowDep)) {
+		panic(fmt.Sprintf("metrics: unmatched departures (shadow %d, pps %d, matched %d, dropped %d)",
+			len(r.shadowDep), len(r.ppsDep), r.matched, r.drops))
 	}
 	rep := Report{
 		Cells:          r.matched,
@@ -248,6 +291,11 @@ func (r *Recorder) Report() Report {
 		MaxInputWait:   cell.Time(r.inputWait.max),
 		MaxPlaneWait:   cell.Time(r.planeWait.max),
 		MaxOutputWait:  cell.Time(r.outputWait.max),
+		Drops:          r.drops,
+	}
+	if r.drops > 0 {
+		rep.DropsPerPlane = append([]uint64(nil), r.dropsPerPlane...)
+		rep.DropsPerInput = append([]uint64(nil), r.dropsPerInput...)
 	}
 	for f, mp := range r.flowPPS {
 		if mp.max > rep.MaxPPSDelay {
@@ -271,6 +319,10 @@ func (r *Recorder) Report() Report {
 
 // String renders the headline numbers.
 func (rep Report) String() string {
-	return fmt.Sprintf("cells=%d flows=%d maxRQD=%d meanRQD=%.2f p99RQD=%d RDJ=%d maxDelay(pps=%d shadow=%d)",
+	s := fmt.Sprintf("cells=%d flows=%d maxRQD=%d meanRQD=%.2f p99RQD=%d RDJ=%d maxDelay(pps=%d shadow=%d)",
 		rep.Cells, rep.Flows, rep.MaxRQD, rep.MeanRQD, rep.P99RQD, rep.RDJ, rep.MaxPPSDelay, rep.MaxShadowDelay)
+	if rep.Drops > 0 {
+		s += fmt.Sprintf(" drops=%d", rep.Drops)
+	}
+	return s
 }

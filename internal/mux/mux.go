@@ -161,10 +161,17 @@ type Buffer struct {
 	parked    map[cell.Flow]*queue.Heap[cell.Cell] // ordered by FlowSeq
 	next      map[cell.Flow]uint64                 // next FlowSeq the output may emit
 	parkedLen int
+	// skips holds per-flow FlowSeqs the fabric reported dropped (failed
+	// planes, DropCount policy): a parked cell must not wait forever for a
+	// predecessor that will never be delivered. Min-heaps, because two
+	// planes failing in turn can drop a flow's cells out of FlowSeq order.
+	// Nil until the first Skip, so fault-free runs never touch it.
+	skips map[cell.Flow]*queue.Heap[uint64]
 }
 
 func bySeq(a, b cell.Cell) bool     { return a.Seq < b.Seq }
 func byFlowSeq(a, b cell.Cell) bool { return a.FlowSeq < b.FlowSeq }
+func byValue(a, b uint64) bool      { return a < b }
 
 // Push inserts a cell delivered by a plane.
 func (b *Buffer) Push(c cell.Cell) {
@@ -197,6 +204,48 @@ func (b *Buffer) Len() int {
 	return b.emittable.Len() + b.parkedLen
 }
 
+// Skip records that flow f's cell FlowSeq fs was dropped inside the switch
+// (a failed plane under the DropCount policy) and will never be delivered:
+// the resequencer treats it as already departed, so successors do not park
+// forever behind the gap. Skips may arrive in any order relative to the
+// flow's progression and to each other.
+func (b *Buffer) Skip(f cell.Flow, fs uint64) {
+	if b.next == nil {
+		b.next = make(map[cell.Flow]uint64)
+		b.parked = make(map[cell.Flow]*queue.Heap[cell.Cell])
+		b.emittable = queue.NewHeap(bySeq)
+	}
+	if fs == b.next[f] {
+		b.next[f] = fs + 1
+		b.advance(f)
+		return
+	}
+	if b.skips == nil {
+		b.skips = make(map[cell.Flow]*queue.Heap[uint64])
+	}
+	h := b.skips[f]
+	if h == nil {
+		h = queue.NewHeap(byValue)
+		b.skips[f] = h
+	}
+	h.Push(fs)
+}
+
+// advance consumes any now-reached skipped FlowSeqs of flow f and releases
+// the parked successor the advancement uncovers, if any.
+func (b *Buffer) advance(f cell.Flow) {
+	if sk := b.skips[f]; sk != nil {
+		for !sk.Empty() && sk.Peek() == b.next[f] {
+			sk.Pop()
+			b.next[f]++
+		}
+	}
+	if h := b.parked[f]; h != nil && !h.Empty() && h.Peek().FlowSeq == b.next[f] {
+		b.emittable.Push(h.Pop())
+		b.parkedLen--
+	}
+}
+
 // PopEmittable removes and returns the earliest in-order cell; ok is false
 // when every buffered cell is waiting for a predecessor (or the buffer is
 // empty).
@@ -206,11 +255,7 @@ func (b *Buffer) PopEmittable() (cell.Cell, bool) {
 	}
 	c := b.emittable.Pop()
 	b.next[c.Flow] = c.FlowSeq + 1
-	// Release the flow's successor if it was parked.
-	if h := b.parked[c.Flow]; h != nil && !h.Empty() && h.Peek().FlowSeq == c.FlowSeq+1 {
-		b.emittable.Push(h.Pop())
-		b.parkedLen--
-	}
+	b.advance(c.Flow)
 	return c, true
 }
 
@@ -271,6 +316,10 @@ func (o *Output) Step(t cell.Time, pv PlaneView) (cell.Cell, bool, error) {
 
 // Buffered reports the number of cells waiting in the reassembly buffer.
 func (o *Output) Buffered() int { return o.buf.Len() }
+
+// Skip informs the resequencing buffer that flow f's cell FlowSeq fs was
+// dropped inside the switch and will never arrive (see Buffer.Skip).
+func (o *Output) Skip(f cell.Flow, fs uint64) { o.buf.Skip(f, fs) }
 
 // Utilization reports the fraction of slots in [firstDeparture,
 // lastDeparture] in which a cell departed — 1.0 means the output never

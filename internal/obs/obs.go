@@ -37,6 +37,11 @@ const (
 	// EvViolation: the fabric detected a model violation; Note carries the
 	// error text. The run aborts after this event.
 	EvViolation
+	// EvDrop: the cell was lost to a failed plane (or its loss stream)
+	// under the DropCount fault policy; Plane is the plane that lost it.
+	// Emitted instead of EvPlaneEnqueue for dispatch-time drops, and on its
+	// own for cells a plane's backlog held when the plane failed.
+	EvDrop
 )
 
 var kindNames = [...]string{
@@ -46,6 +51,7 @@ var kindNames = [...]string{
 	EvMuxPull:      "mux-pull",
 	EvDepart:       "depart",
 	EvViolation:    "violation",
+	EvDrop:         "drop",
 }
 
 // String names the kind as it appears in JSONL traces.

@@ -37,6 +37,12 @@ type SlotView interface {
 	// departed the PPS this slot and whose shadow departure is known; ok is
 	// false when no such cell departed.
 	FrontRQD() (int64, bool)
+	// LivePlanes is the number of planes currently in service (K minus
+	// failed planes).
+	LivePlanes() int
+	// DroppedTotal is the cumulative number of cells lost to failed planes
+	// under the DropCount fault policy (always 0 under Abort).
+	DroppedTotal() uint64
 }
 
 // Probe samples a SlotView once per slot into one or more Series. Probes
@@ -253,10 +259,37 @@ func (p *InFlightProbe) Sample(v SlotView) {
 // Series implements Probe.
 func (p *InFlightProbe) Series() []*Series { return []*Series{p.pps, p.sh} }
 
+// FaultProbe samples the degradation state: "live_planes" (planes in
+// service) and "drops_total" (cumulative cells lost to failed planes under
+// the DropCount policy). Fault-free runs record flat K and 0 lines; under a
+// schedule the series make degradation epochs visible in -series output.
+type FaultProbe struct{ live, drops *Series }
+
+// NewFaultProbe returns the probe.
+func NewFaultProbe(stride cell.Time, capacity int) *FaultProbe {
+	return &FaultProbe{
+		live:  NewSeries("live_planes", stride, capacity),
+		drops: NewSeries("drops_total", stride, capacity),
+	}
+}
+
+// Name implements Probe.
+func (p *FaultProbe) Name() string { return "faults" }
+
+// Sample implements Probe.
+func (p *FaultProbe) Sample(v SlotView) {
+	t := v.Slot()
+	p.live.Observe(t, float64(v.LivePlanes()))
+	p.drops.Observe(t, float64(v.DroppedTotal()))
+}
+
+// Series implements Probe.
+func (p *FaultProbe) Series() []*Series { return []*Series{p.live, p.drops} }
+
 // StandardProbes returns the full probe set for an N-port, K-plane switch:
 // per-plane backlog, cumulative peak plane queue, input buffer depths, mux
-// pull rate, departing-front RQD, demux dispatch imbalance, and the
-// PPS-vs-shadow in-flight populations.
+// pull rate, departing-front RQD, demux dispatch imbalance, the
+// PPS-vs-shadow in-flight populations, and the fault degradation state.
 func StandardProbes(n, k int, stride cell.Time, capacity int) []Probe {
 	return []Probe{
 		NewPlaneBacklogProbe(k, stride, capacity),
@@ -266,6 +299,7 @@ func StandardProbes(n, k int, stride cell.Time, capacity int) []Probe {
 		NewFrontRQDProbe(stride, capacity),
 		NewDispatchImbalanceProbe(stride, capacity),
 		NewInFlightProbe(stride, capacity),
+		NewFaultProbe(stride, capacity),
 	}
 }
 

@@ -19,6 +19,8 @@ type fakeView struct {
 	pps, sh  int
 	rqd      int64
 	rqdOK    bool
+	live     int
+	dropped  uint64
 }
 
 func (v *fakeView) Slot() cell.Time           { return v.slot }
@@ -33,10 +35,12 @@ func (v *fakeView) DispatchedTo(k int) uint64 { return v.dispatch[k] }
 func (v *fakeView) PPSInFlight() int          { return v.pps }
 func (v *fakeView) ShadowInFlight() int       { return v.sh }
 func (v *fakeView) FrontRQD() (int64, bool)   { return v.rqd, v.rqdOK }
+func (v *fakeView) LivePlanes() int           { return v.live }
+func (v *fakeView) DroppedTotal() uint64      { return v.dropped }
 
 func newFakeView(n, k int) *fakeView {
 	return &fakeView{
-		n: n, k: k,
+		n: n, k: k, live: k,
 		backlog:  make([]int, k),
 		peak:     make([]int, k),
 		depth:    make([]int, n),
@@ -66,6 +70,7 @@ func TestStandardProbesNamesAndCount(t *testing.T) {
 		"front_rqd",
 		"dispatch_imbalance",
 		"pps_in_flight", "shadow_in_flight",
+		"live_planes", "drops_total",
 	}
 	if len(all) != len(want) {
 		t.Fatalf("got %d series, want %d", len(all), len(want))

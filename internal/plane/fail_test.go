@@ -1,0 +1,83 @@
+package plane
+
+import (
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+func TestFailDropDrainsEverything(t *testing.T) {
+	p := New(0, 4)
+	var seq uint64
+	push := func(out cell.Port) cell.Cell {
+		c := cell.New(seq, seq, cell.Flow{In: 0, Out: out}, 0)
+		seq++
+		if err := p.Enqueue(c); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Interleave outputs so FIFO-within-output and ascending-output order
+	// are distinguishable in the drained slice.
+	push(2)
+	push(0)
+	push(2)
+	push(1)
+	dropped := p.FailDrop(nil)
+	if !p.Failed() {
+		t.Fatal("FailDrop left the plane live")
+	}
+	if p.Backlog() != 0 {
+		t.Errorf("Backlog = %d after FailDrop", p.Backlog())
+	}
+	wantOut := []cell.Port{0, 1, 2, 2}
+	wantSeq := []uint64{1, 3, 0, 2}
+	if len(dropped) != len(wantOut) {
+		t.Fatalf("FailDrop returned %d cells, want %d", len(dropped), len(wantOut))
+	}
+	for i, c := range dropped {
+		if c.Flow.Out != wantOut[i] || c.Seq != wantSeq[i] {
+			t.Errorf("dropped[%d] = out %d seq %d, want out %d seq %d",
+				i, c.Flow.Out, c.Seq, wantOut[i], wantSeq[i])
+		}
+	}
+	if err := p.Enqueue(cell.New(99, 0, cell.Flow{Out: 0}, 0)); err == nil {
+		t.Error("failed plane accepted a cell")
+	}
+}
+
+func TestFailDropAppendsToDst(t *testing.T) {
+	p := New(1, 2)
+	if err := p.Enqueue(cell.New(0, 0, cell.Flow{Out: 1}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]cell.Cell, 0, 8)
+	scratch = append(scratch, cell.New(7, 7, cell.Flow{}, 0))
+	out := p.FailDrop(scratch)
+	if len(out) != 2 || out[0].Seq != 7 || out[1].Seq != 0 {
+		t.Errorf("FailDrop did not append to dst: %v", out)
+	}
+}
+
+func TestRecoverRejoinsEmpty(t *testing.T) {
+	p := New(0, 2)
+	if err := p.Enqueue(cell.New(0, 0, cell.Flow{Out: 0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	p.FailDrop(nil)
+	p.Recover()
+	if p.Failed() {
+		t.Fatal("Recover left the plane failed")
+	}
+	if p.Backlog() != 0 {
+		t.Errorf("recovered plane backlog = %d, want 0", p.Backlog())
+	}
+	if err := p.Enqueue(cell.New(1, 1, cell.Flow{Out: 1}, 5)); err != nil {
+		t.Errorf("recovered plane rejected a cell: %v", err)
+	}
+	// Recover on a live plane is a no-op.
+	p.Recover()
+	if p.Failed() || p.Backlog() != 1 {
+		t.Error("no-op Recover perturbed the plane")
+	}
+}

@@ -108,8 +108,31 @@ func (p *Plane) Backlog() int { return p.total }
 func (p *Plane) PeakQueue() int { return p.peak }
 
 // Fail marks the plane failed: subsequent Enqueue calls error. Cells already
-// queued continue to drain (the output lines are assumed intact).
+// queued continue to drain (the output lines are assumed intact). This is
+// the Abort-policy failure mode; under DropCount the fabric uses FailDrop.
 func (p *Plane) Fail() { p.failed = true }
+
+// FailDrop marks the plane failed and empties every per-output queue,
+// appending the removed cells to dst in ascending output order (FIFO order
+// within an output) so the fabric can account them as drops. This is the
+// DropCount-policy failure mode: the plane's memory dies with it.
+func (p *Plane) FailDrop(dst []cell.Cell) []cell.Cell {
+	p.failed = true
+	for j := range p.queues {
+		q := &p.queues[j]
+		for !q.Empty() {
+			dst = append(dst, q.Pop())
+		}
+	}
+	p.total = 0
+	return dst
+}
+
+// Recover returns a failed plane to service: subsequent Enqueue calls
+// succeed again. Under DropCount the plane rejoins empty (FailDrop emptied
+// it); under Abort any backlog that survived the outage simply resumes
+// normal service. Recover on a live plane is a no-op.
+func (p *Plane) Recover() { p.failed = false }
 
 // Failed reports whether the plane has been failed.
 func (p *Plane) Failed() bool { return p.failed }
