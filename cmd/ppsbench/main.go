@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -57,6 +58,10 @@ type benchResult struct {
 	// Drops counts cells lost to injected plane faults (DropCount policy);
 	// absent in fault-free runs.
 	Drops uint64 `json:"drops,omitempty"`
+	// SlotsElided counts the slots the quiescence fast-forward jumped over
+	// (-fastforward); absent for stepped runs, so older files read (and
+	// diff) unchanged.
+	SlotsElided uint64 `json:"slots_elided,omitempty"`
 }
 
 // benchFile is the stable schema of a BENCH_<rev>.json file. Fields added
@@ -79,8 +84,11 @@ type benchFile struct {
 	// Faults and FaultPolicy echo the -faults / -fault-policy flags when a
 	// fault schedule was injected; absent for fault-free baselines, so
 	// older files read (and diff) unchanged.
-	Faults      string        `json:"faults,omitempty"`
-	FaultPolicy string        `json:"fault_policy,omitempty"`
+	Faults      string `json:"faults,omitempty"`
+	FaultPolicy string `json:"fault_policy,omitempty"`
+	// FastForward echoes the -fastforward flag; absent (false) in stepped
+	// baselines, keeping the schema backward-readable.
+	FastForward bool          `json:"fastforward,omitempty"`
 	Results     []benchResult `json:"results"`
 }
 
@@ -117,6 +125,22 @@ func suite(horizon int64) []benchCase {
 			Seed:    1,
 		})
 	}
+	// Low-load cases are the quiescence fast-forward's payoff scenario: a few
+	// concentrated bursty flows at per-flow load 0.05 leave most slots
+	// globally silent, so -fastforward elides them while the stepped engine
+	// still pays O(N) per slot. Full horizon even at large N — long idle
+	// stretches are exactly the workload being priced.
+	for _, n := range []int{128, 1024} {
+		cases = append(cases, benchCase{
+			Name:    fmt.Sprintf("bursty-low/n%d/k8", n),
+			Traffic: "bursty-low",
+			N:       n,
+			K:       8,
+			RPrime:  2,
+			Slots:   horizon,
+			Seed:    1,
+		})
+	}
 	return cases
 }
 
@@ -133,6 +157,12 @@ func buildSource(c benchCase) (ppsim.Source, error) {
 		meanOn := 8.0
 		meanOff := meanOn * (1 - load) / load
 		return ppsim.NewOnOff(c.N, meanOn, meanOff, ppsim.Time(c.Slots), c.Seed)
+	case "bursty-low":
+		// Two concentrated on/off flows at per-flow load 0.05 (mean on 8,
+		// mean off 152): the switch is globally silent ~90% of slots, which
+		// is the regime the quiescence fast-forward elides. Arrivals use
+		// ports [0, 2), legal in any suite fabric (N >= 8).
+		return ppsim.NewOnOff(2, 8, 152, ppsim.Time(c.Slots), c.Seed)
 	case "adversarial":
 		perm := make([]ppsim.Port, c.N)
 		for i := range perm {
@@ -148,7 +178,7 @@ func buildSource(c benchCase) (ppsim.Source, error) {
 // non-nil schedule injects the same faults into every case (planes beyond a
 // small case's K are skipped by construction: the caller validates against
 // the smallest K in the suite).
-func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.FaultPolicy) (benchResult, error) {
+func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.FaultPolicy, fastforward bool) (benchResult, error) {
 	src, err := buildSource(c)
 	if err != nil {
 		return benchResult{}, err
@@ -159,6 +189,11 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 		Algorithm:     ppsim.Algorithm{Name: "rr", Seed: c.Seed},
 	}
 	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8, Workers: workers, Faults: sched, FaultPolicy: policy}
+	var elided uint64
+	if fastforward {
+		opts.FastForward = true
+		opts.OnFastForward = func(from, to ppsim.Time) { elided += uint64(to - from) }
+	}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -180,6 +215,7 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 		MaxRQD:          int64(res.Report.MaxRQD),
 		WorkersResolved: ppsim.ResolveWorkers(workers, c.N),
 		Drops:           res.Drops,
+		SlotsElided:     elided,
 	}
 	if wall > 0 {
 		out.SlotsPerSec = float64(slots) / wall.Seconds()
@@ -217,14 +253,16 @@ func peakRSS() int64 {
 
 func main() {
 	var (
-		rev     = flag.String("rev", "dev", "revision label; output file is BENCH_<rev>.json")
-		outDir  = flag.String("out", ".", "directory to write the JSON report into")
-		filter  = flag.String("filter", "", "run only cases whose name contains this substring")
-		quick   = flag.Bool("quick", false, "short horizons (CI smoke run)")
+		rev       = flag.String("rev", "dev", "revision label; output file is BENCH_<rev>.json")
+		outDir    = flag.String("out", ".", "directory to write the JSON report into")
+		filter    = flag.String("filter", "", "run only cases whose name contains this substring")
+		quick     = flag.Bool("quick", false, "short horizons (CI smoke run)")
 		slots     = flag.Int64("slots", 20000, "traffic horizon per case in slots")
 		workers   = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
 		faultSpec = flag.String("faults", "", "fault schedule injected into every case, e.g. fail:0@1000,recover:0@3000")
 		faultPol  = flag.String("fault-policy", "abort", "degradation policy: abort or dropcount")
+		fastfwd   = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; records slots_elided)")
+		baseline  = flag.String("compare", "", "print a markdown delta table against this BENCH_<rev>.json baseline (non-gating)")
 	)
 	flag.Parse()
 
@@ -262,14 +300,15 @@ func main() {
 	}
 
 	report := benchFile{
-		Rev:        *rev,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		Quick:      *quick,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Workers:    *workers,
+		Rev:         *rev,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Quick:       *quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     *workers,
+		FastForward: *fastfwd,
 	}
 	if sched != nil {
 		report.Faults = sched.String()
@@ -279,13 +318,17 @@ func main() {
 		if *filter != "" && !strings.Contains(c.Name, *filter) {
 			continue
 		}
-		res, err := run(c, *workers, sched, policy)
+		res, err := run(c, *workers, sched, policy, *fastfwd)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-22s slots=%-8d cells=%-9d %12.0f slots/s %10.1f allocs/slot\n",
+		fmt.Printf("%-22s slots=%-8d cells=%-9d %12.0f slots/s %10.1f allocs/slot",
 			res.Name, res.RunSlots, res.Cells, res.SlotsPerSec, res.AllocsPerSlot)
+		if res.SlotsElided > 0 {
+			fmt.Printf("  %d elided", res.SlotsElided)
+		}
+		fmt.Println()
 		report.Results = append(report.Results, res)
 	}
 	if len(report.Results) == 0 {
@@ -314,4 +357,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", path)
+
+	if *baseline != "" {
+		if err := printDelta(os.Stdout, *baseline, report); err != nil {
+			fmt.Fprintln(os.Stderr, "ppsbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printDelta renders a dependency-free benchstat substitute: a markdown
+// table of per-case slots/sec against a committed baseline file. The CI
+// bench-compare job pipes it into the job summary. It is informational only
+// — regressions print but never change the exit status; only an unreadable
+// baseline is an error.
+func printDelta(w io.Writer, baselinePath string, cur benchFile) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	fmt.Fprintf(w, "\n### ppsbench: %s vs baseline %s\n\n", cur.Rev, base.Rev)
+	if base.Quick != cur.Quick || base.Workers != cur.Workers || base.FastForward != cur.FastForward {
+		fmt.Fprintf(w, "> note: configurations differ (quick %v/%v, workers %d/%d, fastforward %v/%v) — deltas are indicative only\n\n",
+			base.Quick, cur.Quick, base.Workers, cur.Workers, base.FastForward, cur.FastForward)
+	}
+	fmt.Fprintln(w, "| case | baseline slots/s | new slots/s | delta | allocs/slot (base → new) |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	for _, r := range cur.Results {
+		b, ok := byName[r.Name]
+		if !ok || b.SlotsPerSec == 0 {
+			fmt.Fprintf(w, "| %s | — | %.0f | new | — → %.1f |\n", r.Name, r.SlotsPerSec, r.AllocsPerSlot)
+			continue
+		}
+		delta := (r.SlotsPerSec/b.SlotsPerSec - 1) * 100
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | %.1f → %.1f |\n",
+			r.Name, b.SlotsPerSec, r.SlotsPerSec, delta, b.AllocsPerSlot, r.AllocsPerSlot)
+	}
+	return nil
 }

@@ -20,24 +20,25 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 16, "external ports N")
-		k       = flag.Int("k", 8, "center-stage planes K")
-		rprime  = flag.Int64("rprime", 2, "internal line occupancy r' = R/r")
-		alg     = flag.String("alg", "rr", "demultiplexing algorithm (see -algs)")
-		d       = flag.Int("d", 2, "partition size (alg=partition)")
-		u       = flag.Int64("u", 2, "staleness / buffer lag (alg=stale-cpa, buffered-cpa)")
-		h       = flag.Float64("h", 2, "FTD block parameter (alg=ftd)")
-		seed    = flag.Int64("seed", 1, "random seed (traffic and alg=random)")
-		cap     = flag.Int("cap", -1, "input buffer capacity (alg=buffered-rr)")
-		bufcap  = flag.Int("bufcap", 0, "fabric input-buffer bound: 0 bufferless, -1 unbounded")
-		lazy    = flag.Bool("lazy", false, "use the lazy FCFS output multiplexor")
-		kind    = flag.String("traffic", "bernoulli", "traffic: bernoulli, hotspot, onoff, permutation, flood, steering, concentration, herding")
-		load    = flag.Float64("load", 0.6, "per-input load (bernoulli, hotspot, onoff)")
-		shapeB  = flag.Int64("shape", -1, "wrap traffic in an (R,B) regulator; -1 = off")
-		slots   = flag.Int64("slots", 5000, "traffic horizon in slots")
-		algs    = flag.Bool("algs", false, "list algorithms and exit")
-		verbose = flag.Bool("v", false, "print utilization per output")
-		workers = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
+		n          = flag.Int("n", 16, "external ports N")
+		k          = flag.Int("k", 8, "center-stage planes K")
+		rprime     = flag.Int64("rprime", 2, "internal line occupancy r' = R/r")
+		alg        = flag.String("alg", "rr", "demultiplexing algorithm (see -algs)")
+		d          = flag.Int("d", 2, "partition size (alg=partition)")
+		u          = flag.Int64("u", 2, "staleness / buffer lag (alg=stale-cpa, buffered-cpa)")
+		h          = flag.Float64("h", 2, "FTD block parameter (alg=ftd)")
+		seed       = flag.Int64("seed", 1, "random seed (traffic and alg=random)")
+		cap        = flag.Int("cap", -1, "input buffer capacity (alg=buffered-rr)")
+		bufcap     = flag.Int("bufcap", 0, "fabric input-buffer bound: 0 bufferless, -1 unbounded")
+		lazy       = flag.Bool("lazy", false, "use the lazy FCFS output multiplexor")
+		kind       = flag.String("traffic", "bernoulli", "traffic: bernoulli, hotspot, onoff, trickle, permutation, flood, steering, concentration, herding")
+		load       = flag.Float64("load", 0.6, "per-input load (bernoulli, hotspot, onoff)")
+		shapeB     = flag.Int64("shape", -1, "wrap traffic in an (R,B) regulator; -1 = off")
+		slots      = flag.Int64("slots", 5000, "traffic horizon in slots")
+		algs       = flag.Bool("algs", false, "list algorithms and exit")
+		verbose    = flag.Bool("v", false, "print utilization per output")
+		workers    = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
+		fastfwd    = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; ignored with -trace)")
 		trace      = flag.String("trace", "", "write a JSONL event trace to FILE")
 		series     = flag.String("series", "", "write per-slot probe series CSV to FILE")
 		stride     = flag.Int64("stride", 1, "sample every stride-th slot (with -series)")
@@ -115,6 +116,7 @@ func main() {
 		Workers:     *workers,
 		FailPlanes:  failed,
 		FaultPolicy: policy,
+		FastForward: *fastfwd,
 	}
 	if !schedule.Empty() {
 		opts.Faults = schedule
@@ -179,6 +181,18 @@ func buildTraffic(cfg ppsim.Config, kind string, load float64, seed int64, slots
 			meanOff = 1
 		}
 		return ppsim.NewOnOff(n, meanOn, meanOff, slots, seed)
+	case "trickle":
+		// Two concentrated on/off flows at per-flow load -load; the other
+		// N-2 inputs stay silent. Unlike onoff (where every input carries a
+		// flow, so some input is almost always on at large N), the fabric is
+		// globally quiescent most slots — the long-horizon workload that
+		// -fastforward elides.
+		meanOn := 8.0
+		meanOff := meanOn * (1 - load) / load
+		if meanOff < 1 {
+			meanOff = 1
+		}
+		return ppsim.NewOnOff(2, meanOn, meanOff, slots, seed)
 	case "permutation":
 		perm := make([]ppsim.Port, n)
 		for i := range perm {

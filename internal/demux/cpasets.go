@@ -132,3 +132,7 @@ func (a *CPASets) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 
 // Buffered implements Algorithm (bufferless).
 func (a *CPASets) Buffered(cell.Port) int { return 0 }
+
+// IdleInvariant certifies the fast-forward capability: the AIL/AOL sets
+// mutate only on arrivals.
+func (a *CPASets) IdleInvariant() bool { return true }

@@ -72,6 +72,23 @@ func (s *sendScratch) keep(sends []Send) []Send {
 	return sends
 }
 
+// IdleInvariant is an optional Algorithm capability for the harness's
+// quiescence fast-forward: an algorithm returns true to certify that
+// Slot(t, nil) on a slot with no arrivals — and, for input-buffered
+// algorithms, no buffered cells — leaves every piece of its observable state
+// (pointers, counters, RNG streams, log cursors) unchanged and returns no
+// sends. Under that certificate the engine may skip Slot entirely on elided
+// idle slots and still produce bit-identical results.
+//
+// Algorithms whose per-slot work is driven by wall-clock time rather than
+// arrivals must NOT implement this (or must return false): the stale-info
+// family advances its delayed view of the global log every slot, including
+// silent ones, so eliding a slot would change which events it has digested
+// when the next burst lands.
+type IdleInvariant interface {
+	IdleInvariant() bool
+}
+
 // Prober is implemented by deterministic algorithms that can reveal which
 // plane they would pick next for a given (input, output) pair, assuming all
 // input gates free and no intervening arrivals. The steering adversary of

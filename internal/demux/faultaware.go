@@ -89,3 +89,10 @@ func (f *FaultAware) WouldChoose(in, out cell.Port) (cell.Plane, bool) {
 	}
 	return cell.NoPlane, false
 }
+
+// IdleInvariant delegates the fast-forward capability to the wrapped
+// algorithm: the mask itself holds no per-slot state.
+func (f *FaultAware) IdleInvariant() bool {
+	ii, ok := f.inner.(IdleInvariant)
+	return ok && ii.IdleInvariant()
+}

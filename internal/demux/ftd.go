@@ -118,3 +118,7 @@ func (a *FTD) WouldChoose(in, out cell.Port) (cell.Plane, bool) {
 	}
 	return fs.ptr, true
 }
+
+// IdleInvariant certifies the fast-forward capability: flow state and block
+// fall-back counters move only on arrivals.
+func (a *FTD) IdleInvariant() bool { return true }

@@ -85,3 +85,7 @@ func (a *LocalLeastLoaded) WouldChoose(in, out cell.Port) (cell.Plane, bool) {
 	}
 	return best, true
 }
+
+// IdleInvariant certifies the fast-forward capability: the per-flow counts
+// change only on dispatch.
+func (a *LocalLeastLoaded) IdleInvariant() bool { return true }

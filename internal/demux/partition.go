@@ -106,3 +106,7 @@ func (sp *StaticPartition) WouldChoose(in, out cell.Port) (cell.Plane, bool) {
 	base := cell.Plane(sp.Group(in) * sp.d)
 	return base + sp.ptr[in]%cell.Plane(sp.d), true
 }
+
+// IdleInvariant certifies the fast-forward capability: partition pointers
+// advance only on dispatch.
+func (sp *StaticPartition) IdleInvariant() bool { return true }

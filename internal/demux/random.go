@@ -64,3 +64,8 @@ func (r *Random) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 
 // Buffered implements Algorithm (bufferless).
 func (r *Random) Buffered(cell.Port) int { return 0 }
+
+// IdleInvariant certifies the fast-forward capability: Slot returns before
+// any RNG draw when there are no arrivals, so eliding silent slots preserves
+// the per-input random streams bit-for-bit.
+func (r *Random) IdleInvariant() bool { return true }

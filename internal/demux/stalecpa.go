@@ -98,6 +98,14 @@ func (a *StaleCPA) Name() string {
 func (a *StaleCPA) Staleness() cell.Time { return a.u }
 
 // Slot implements Algorithm.
+//
+// StaleCPA deliberately does NOT implement the IdleInvariant fast-forward
+// capability: the advanceView call below runs before the empty-arrivals
+// check, consuming global-log events up to t-u on every slot — silent ones
+// included — and mutating the cursor, the per-output oracle view and the
+// stale link reservations. Eliding a silent slot would change which events
+// the u-slot-delayed view has digested when the next burst arrives, so
+// stale-information algorithms opt out and always run stepped.
 func (a *StaleCPA) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 	a.advanceView(t - a.u)
 	if len(arrivals) == 0 {

@@ -171,6 +171,13 @@ type PPS struct {
 
 	// pool is the stage-parallel worker pool, nil for the serial engine.
 	pool *workerPool
+
+	// drainOuts is the busy-output working set of the harness's quiescence
+	// drain (DrainStep): once a drain phase starts it only ever shrinks, so
+	// it is built lazily on the first DrainStep of a phase (drainActive) and
+	// re-filtered in place each micro-step. Any normal Step invalidates it.
+	drainOuts   []cell.Port
+	drainActive bool
 }
 
 // New builds a PPS and constructs its demultiplexing algorithm via makeAlg,
@@ -450,6 +457,7 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 		return dst, fmt.Errorf("fabric: skipped from slot %d to %d with %d cells in flight", p.lastSlot, t, p.Backlog())
 	}
 	p.lastSlot = t
+	p.drainActive = false
 
 	// 0. Scheduled faults, before this slot's arrivals are presented.
 	if len(p.slotDrops) > 0 {
@@ -577,6 +585,98 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 			return dst, p.violation(t, err)
 		}
 	}
+	return dst, nil
+}
+
+// PendingTotal reports the number of arrived-but-undispatched cells across
+// all inputs — the first term of the harness's quiescence predicate (zero
+// pending also means a buffered algorithm's silent-slot release scan is a
+// provable no-op).
+func (p *PPS) PendingTotal() int { return p.pendingTotal }
+
+// IdleInvariant reports whether the demultiplexing algorithm certifies
+// demux.IdleInvariant — a precondition for eliding its Slot calls on idle
+// slots. Stale-information algorithms do not, so they always run stepped.
+func (p *PPS) IdleInvariant() bool {
+	ii, ok := p.alg.(demux.IdleInvariant)
+	return ok && ii.IdleInvariant()
+}
+
+// NextFaultSlot reports the slot of the next unapplied fault-schedule event,
+// or cell.None. The harness truncates a fast-forward jump at this slot so
+// fail/recover events (and their drop accounting) land exactly where the
+// stepped engine would apply them.
+func (p *PPS) NextFaultSlot() cell.Time {
+	if p.faults == nil {
+		return cell.None
+	}
+	return p.faults.Next()
+}
+
+// outputBusy reports whether output j still has work: cells parked in its
+// resequencing buffer or queued for it in any plane.
+func (p *PPS) outputBusy(j cell.Port) bool {
+	if p.outputs[j].Buffered() > 0 {
+		return true
+	}
+	for _, pl := range p.planes {
+		if pl.QueueLen(j) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DrainStep advances the PPS by one slot running only the multiplexing
+// stage, over only the outputs that still hold work. It is the quiescence
+// drain micro-step of the harness's fast-forward and is bit-identical to
+// Step(t, nil, dst) under the caller-guaranteed preconditions: no pending
+// input cells (so demuxing, input audits and the buffered algorithms'
+// release scans are no-ops), no arrivals, no fault event due at t, and an
+// idle-invariant algorithm. The skipped conservation audit is implied by the
+// previous slot's audit plus this slot moving cells only from planes/outputs
+// to departed. Interleaving DrainStep with Step is legal in any order; Step
+// invalidates the busy-output working set.
+func (p *PPS) DrainStep(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
+	if t <= p.lastSlot {
+		return dst, fmt.Errorf("fabric: non-monotone slot %d after %d", t, p.lastSlot)
+	}
+	p.lastSlot = t
+	if len(p.slotDrops) > 0 {
+		p.slotDrops = p.slotDrops[:0]
+	}
+	if !p.drainActive {
+		p.drainOuts = p.drainOuts[:0]
+		for j := 0; j < p.cfg.N; j++ {
+			if p.outputBusy(cell.Port(j)) {
+				p.drainOuts = append(p.drainOuts, cell.Port(j))
+			}
+		}
+		p.drainActive = true
+	}
+	keep := p.drainOuts[:0]
+	for _, j := range p.drainOuts {
+		pv := &p.pviews[int(j)]
+		pv.t = t
+		c, ok, err := p.outputs[int(j)].Step(t, pv)
+		if err != nil {
+			return dst, err
+		}
+		if ok {
+			if err := p.checkFlowOrder(c); err != nil {
+				return dst, p.violation(t, err)
+			}
+			p.departed++
+			if p.trace {
+				p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDepart, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
+			}
+			dst = append(dst, c)
+		}
+		if p.outputBusy(j) {
+			keep = append(keep, j)
+		}
+	}
+	p.drainOuts = keep
 	return dst, nil
 }
 

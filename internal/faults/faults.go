@@ -408,6 +408,18 @@ func (r *Runtime) Due(t cell.Time) []Event {
 	return evs[lo:r.idx]
 }
 
+// Next returns the slot of the earliest scheduled event the cursor has not
+// yet applied, or cell.None when the schedule is exhausted. The harness's
+// quiescence fast-forward uses it to truncate an idle jump at the next
+// fail/recover event, so the fault cursor advances exactly as it would have
+// in a stepped run.
+func (r *Runtime) Next() cell.Time {
+	if r.idx >= len(r.sched.events) {
+		return cell.None
+	}
+	return r.sched.events[r.idx].Slot
+}
+
 // Lose draws plane p's loss stream and reports whether a cell dispatched
 // into it this instant is lost. Planes without a configured loss never
 // draw, so adding loss to one plane does not change another plane's stream.

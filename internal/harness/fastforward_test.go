@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ppsim/internal/cell"
+	"ppsim/internal/fabric"
+	"ppsim/internal/faults"
+	"ppsim/internal/obs"
+	"ppsim/internal/traffic"
+)
+
+// ffShapes are the traffic shapes of the fast-forward equivalence matrix:
+// saturated uniform traffic (no quiescent interval ever — fast-forward must
+// be a perfect no-op), sparse bursty traffic (long idle gaps — the payoff
+// case), and full-rate adversarial permutation traffic (quiesces only in the
+// tail drain, exercising the drain micro-step against heavy backlogs).
+var ffShapes = []struct {
+	name    string
+	horizon cell.Time
+	mk      func(n int, horizon cell.Time) traffic.Source
+}{
+	{"uniform", 256, func(n int, h cell.Time) traffic.Source {
+		return traffic.NewBernoulli(n, 0.6, h, 11)
+	}},
+	{"sparse", 384, func(n int, h cell.Time) traffic.Source {
+		src, err := traffic.NewOnOff(n, 4, 96, h, 5)
+		if err != nil {
+			panic(err)
+		}
+		return src
+	}},
+	{"adversarial", 192, func(n int, h cell.Time) traffic.Source {
+		perm := make([]cell.Port, n)
+		for i := range perm {
+			perm[i] = cell.Port(n - 1 - i)
+		}
+		src, err := traffic.NewPermutation(perm, h)
+		if err != nil {
+			panic(err)
+		}
+		return src
+	}},
+}
+
+// TestFastForwardMatchesSteppedMatrix is the bit-identity contract of the
+// quiescence fast-forward, in the style of TestParallelMatchesSerialMatrix:
+// for every registered algorithm, traffic shape, engine (serial and
+// stage-parallel) and fault schedule (none, and an outage straddling idle
+// gaps under DropCount), a run with Options.FastForward must produce a
+// Result deeply equal to the stepped run's — decimated series (ring state
+// included, since DeepEqual follows the Series pointers into their
+// unexported fields), drop counters, RQD/RDJ statistics, burstiness,
+// utilization, everything. Stale-information algorithms exercise the
+// capability gate: they fall back to stepping and must still match.
+func TestFastForwardMatchesSteppedMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full equivalence matrix skipped in -short mode")
+	}
+	const n = 8
+	cfg := fabric.Config{N: n, K: 4, RPrime: 2, BufferCap: -1, CheckInvariants: true}
+	schedules := []struct {
+		name  string
+		mk    func() *faults.Schedule
+		polcy faults.Policy
+	}{
+		{"nofaults", func() *faults.Schedule { return nil }, faults.Abort},
+		{"outage", func() *faults.Schedule {
+			// Fail and recover land mid-run; with the sparse shape both
+			// events fall inside idle gaps, so the jump must truncate at
+			// them for the drop accounting to stay identical.
+			return faults.NewSchedule().Outage(1, 100, 160)
+		}, faults.DropCount},
+	}
+	var elidedSparse cell.Time
+	for _, alg := range matrixAlgs {
+		for _, shape := range ffShapes {
+			for _, w := range []int{0, 4} {
+				for _, sched := range schedules {
+					run := func(ff bool) Result {
+						opts := Options{
+							Validate:    true,
+							Utilization: true,
+							Workers:     w,
+							Faults:      sched.mk(),
+							FaultPolicy: sched.polcy,
+							FastForward: ff,
+							Probes:      obs.StandardProbes(n, cfg.K, 3, 16),
+						}
+						if ff && shape.name == "sparse" {
+							opts.OnFastForward = func(from, to cell.Time) { elidedSparse += to - from }
+						}
+						res, err := Run(cfg, alg.mk, shape.mk(n, shape.horizon), opts)
+						if err != nil {
+							t.Fatalf("%s/%s/w%d/%s ff=%v: %v", alg.name, shape.name, w, sched.name, ff, err)
+						}
+						return res
+					}
+					t.Run(fmt.Sprintf("%s/%s/w%d/%s", alg.name, shape.name, w, sched.name), func(t *testing.T) {
+						stepped := run(false)
+						if stepped.Report.Cells == 0 {
+							t.Fatal("empty stepped run")
+						}
+						if ffRes := run(true); !reflect.DeepEqual(stepped, ffRes) {
+							t.Errorf("fast-forward result diverges from stepped\nstepped:     %+v\nfastforward: %+v", stepped, ffRes)
+						}
+					})
+				}
+			}
+		}
+	}
+	if elidedSparse == 0 {
+		t.Error("sparse shape elided no slots: the fast-forward path was never exercised")
+	}
+}
+
+// TestFastForwardSlotAllocFree pins the elided-interval path at zero heap
+// allocations per interval, the fast-forward analogue of
+// TestSteadyStateSlotAllocFree: one closed-form probe synthesis over a
+// 64-slot span (rings warmed to capacity so ObserveSpan runs its overwrite
+// arithmetic), one drain micro-step on the drained fabric, and one lookahead
+// query plus its consuming Arrivals call on an RNG-backed source.
+func TestFastForwardSlotAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; guard only meaningful on plain builds")
+	}
+	const warm = 512
+	cfg := benchCfg()
+	s := newSlotStepper(t, traffic.NewBernoulli(cfg.N, 0.6, warm, 1))
+	s.rec.Reserve(cfg.N * warm * 2)
+	for s.slot < warm || s.pps.Backlog() > 0 || s.sh.Backlog() > 0 {
+		s.step()
+	}
+	probes := obs.StandardProbes(cfg.N, cfg.K, 4, 32)
+	view := &slotView{pps: s.pps, sh: s.sh}
+	// Warm every ring past capacity (stride 4 x cap 32 < 192 slots) so the
+	// measured spans exercise the steady-state overwrite path, not append
+	// growth.
+	cursor := s.slot
+	sampleIdleSpan(probes, view, cursor, cursor+192)
+	cursor += 192
+
+	onoff, err := traffic.NewOnOff(cfg.N, 4, 64, cell.None, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var look traffic.Lookahead = onoff
+	var buf []traffic.Arrival
+	after := cell.Time(-1)
+	// Warm the lookahead scan buffers (pend and the consumer slice) across
+	// enough bursts to reach their steady-state capacities.
+	for i := 0; i < 128; i++ {
+		na := look.NextArrival(after)
+		buf = onoff.Arrivals(na, buf[:0])
+		after = na
+	}
+
+	allocs := testing.AllocsPerRun(64, func() {
+		sampleIdleSpan(probes, view, cursor, cursor+64)
+		var err error
+		s.deps, err = s.pps.DrainStep(cursor, s.deps[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursor += 65
+		na := look.NextArrival(after)
+		buf = onoff.Arrivals(na, buf[:0])
+		after = na
+	})
+	if allocs != 0 {
+		t.Errorf("elided interval allocates: %.2f allocs/interval, want 0", allocs)
+	}
+}

@@ -75,6 +75,23 @@ type Options struct {
 	// bit-identical across all settings; Run forwards the value to
 	// fabric.Config.Workers when the config leaves it zero.
 	Workers int
+	// FastForward opts into the quiescence fast-forward: when no cell is
+	// pending at any input, no arrival or fault event is due, and the
+	// demultiplexing algorithm certifies idle-invariance
+	// (demux.IdleInvariant), the engine drains the remaining mux backlog
+	// with reduced micro-steps and then jumps the clock to the next event in
+	// one step, synthesizing the probe samples the stepped engine would have
+	// recorded. Results are bit-identical to the stepped engine — series,
+	// drop counters, RQD statistics and violations included. Runs with a
+	// Tracer (the event stream is inherently per-slot), a source without
+	// traffic.Lookahead, or a non-certifying algorithm (the stale-info
+	// family) silently fall back to stepping every slot.
+	FastForward bool
+	// OnFastForward, if non-nil, observes every idle jump as the half-open
+	// elided interval [from, to). It is a callback rather than a Result
+	// field so fast-forwarded and stepped runs of the same workload produce
+	// deeply equal Results.
+	OnFastForward func(from, to cell.Time)
 }
 
 // Result summarizes a matched execution.
@@ -248,6 +265,17 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		defer close(shadowIn)
 	}
 
+	// Quiescence fast-forward eligibility, decided once per run: an explicit
+	// opt-in, no tracer, a source that can report its next arrival, and an
+	// algorithm certifying that skipping its Slot calls on idle slots is
+	// unobservable (demux.IdleInvariant).
+	ff := opts.FastForward && opts.Tracer == nil
+	var look traffic.Lookahead
+	if ff {
+		look, _ = src.(traffic.Lookahead)
+		ff = look != nil && pps.IdleInvariant()
+	}
+
 	var buf []traffic.Arrival
 	var deps, shDeps, cellsBuf []cell.Cell
 	var err error
@@ -256,10 +284,52 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		if slot >= end && pps.Drained() && sh.Drained() {
 			break
 		}
+		// Quiescence detection: with no cell pending at any input and no
+		// arrival or fault event due this slot, the arrival, demux, audit
+		// and fault stages are provable no-ops. If both switches are also
+		// fully drained nothing at all can move before the next event, so
+		// the clock jumps there in one step; otherwise the slot runs as a
+		// reduced drain micro-step (mux stage only, busy outputs only).
+		drain := false
+		if ff && pps.PendingTotal() == 0 {
+			na := cell.None
+			if slot < end {
+				na = look.NextArrival(slot - 1)
+				if na != cell.None && na >= end {
+					na = cell.None // beyond the horizon: never fed
+				}
+			}
+			if na != slot && pps.NextFaultSlot() != slot {
+				if pps.Drained() && sh.Drained() {
+					// Idle jump. slot < end here (the loop would have
+					// terminated above otherwise), and the next arrival and
+					// fault slots are strictly ahead, so until > slot.
+					until := opts.MaxSlots
+					if end < until {
+						until = end
+					}
+					if na != cell.None && na < until {
+						until = na
+					}
+					if nf := pps.NextFaultSlot(); nf != cell.None && nf < until {
+						until = nf
+					}
+					if probing {
+						sampleIdleSpan(opts.Probes, view, slot, until)
+					}
+					if opts.OnFastForward != nil {
+						opts.OnFastForward(slot, until)
+					}
+					slot = until - 1 // loop post-increment resumes at until
+					continue
+				}
+				drain = true
+			}
+		}
 		// Both switches copy cells into their own queues, so the scratch
 		// slice is safe to reuse across slots.
 		cells := cellsBuf[:0]
-		if slot < end {
+		if !drain && slot < end {
 			buf = src.Arrivals(slot, buf[:0])
 			if vd != nil {
 				if err := vd.Observe(slot, buf); err != nil {
@@ -274,7 +344,11 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		if overlap {
 			shadowIn <- shadowSlot{t: slot, cells: cells}
 		}
-		deps, err = pps.Step(slot, cells, deps[:0])
+		if drain {
+			deps, err = pps.DrainStep(slot, deps[:0])
+		} else {
+			deps, err = pps.Step(slot, cells, deps[:0])
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -365,6 +439,28 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		m.Histogram("harness_max_rqd", 8, 64).Add(int64(res.Report.MaxRQD))
 	}
 	return res, nil
+}
+
+// sampleIdleSpan replays probe sampling for the elided slots [from, to) of a
+// fast-forward jump. Probes implementing obs.IdleSpanSampler synthesize
+// their points in closed form; any other probe is driven through its regular
+// per-slot Sample so correctness never depends on the capability. No cell
+// departs inside an idle span, so the view's front-RQD is cleared once for
+// the whole span, and the view is left on the last elided slot — exactly the
+// state the stepped loop would leave behind.
+func sampleIdleSpan(probes []obs.Probe, view *slotView, from, to cell.Time) {
+	view.rqd, view.rqdOK = 0, false
+	for _, pb := range probes {
+		if is, ok := pb.(obs.IdleSpanSampler); ok {
+			is.SampleIdleSpan(view, from, to)
+			continue
+		}
+		for t := from; t < to; t++ {
+			view.slot = t
+			pb.Sample(view)
+		}
+	}
+	view.slot = to - 1
 }
 
 // String renders the full result as a small multi-line report, so CLIs and

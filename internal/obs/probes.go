@@ -57,6 +57,18 @@ type Probe interface {
 	Series() []*Series
 }
 
+// IdleSpanSampler is an optional Probe capability used by the harness's
+// quiescence fast-forward. SampleIdleSpan must leave the probe's series
+// byte-identical to calling Sample once per slot for every slot in
+// [from, to) under the quiescence preconditions: no arrivals, no cells in
+// flight, no departures, no fault events — so every quantity a probe reads
+// from the view is constant across the span. Probes without the capability
+// force the harness onto a per-slot sampling fallback for elided intervals
+// (still correct, just not O(1)).
+type IdleSpanSampler interface {
+	SampleIdleSpan(v SlotView, from, to cell.Time)
+}
+
 // PlaneBacklogProbe samples every plane's total backlog into one series per
 // plane, named "plane_backlog[k]" — the trajectory behind Theorem 6's
 // divergence argument.
@@ -285,6 +297,93 @@ func (p *FaultProbe) Sample(v SlotView) {
 
 // Series implements Probe.
 func (p *FaultProbe) Series() []*Series { return []*Series{p.live, p.drops} }
+
+// SampleIdleSpan implements IdleSpanSampler. Backlogs are constant (in an
+// idle span they are in fact zero, but the probe only relies on constancy).
+func (p *PlaneBacklogProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	for i, s := range p.s {
+		s.ObserveSpan(from, to, float64(v.PlaneBacklog(i)))
+	}
+}
+
+// SampleIdleSpan implements IdleSpanSampler. The peak is cumulative, hence
+// constant while nothing moves.
+func (p *PeakPlaneQueueProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	peak := 0
+	for k := 0; k < v.Planes(); k++ {
+		if q := v.PlanePeak(k); q > peak {
+			peak = q
+		}
+	}
+	p.s.ObserveSpan(from, to, float64(peak))
+}
+
+// SampleIdleSpan implements IdleSpanSampler.
+func (p *InputDepthProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	total, max := 0, 0
+	for i := 0; i < v.Ports(); i++ {
+		d := v.InputDepth(i)
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	p.total.ObserveSpan(from, to, float64(total))
+	p.max.ObserveSpan(from, to, float64(max))
+}
+
+// SampleIdleSpan implements IdleSpanSampler. The cumulative pull count is
+// frozen across an idle span, so the first recorded point flushes the window
+// since the previous sample and every later point in the span records a zero
+// rate — replayed per-slot only until that first recorded point (at most one
+// stride), then in closed form.
+func (p *MuxPullProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	var cum int64
+	for j := 0; j < v.Ports(); j++ {
+		cum += v.OutputPulls(j)
+	}
+	for t := from; t < to; t++ {
+		if p.s.Observe(t, float64(cum-p.last)) {
+			p.last = cum
+			p.s.ObserveSpan(t+1, to, 0)
+			return
+		}
+	}
+}
+
+// SampleIdleSpan implements IdleSpanSampler. No cell departs during an idle
+// span, so the per-slot Sample would record nothing: a no-op.
+func (p *FrontRQDProbe) SampleIdleSpan(SlotView, cell.Time, cell.Time) {}
+
+// SampleIdleSpan implements IdleSpanSampler. Dispatch counters are
+// cumulative, hence constant while nothing moves.
+func (p *DispatchImbalanceProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	var total, max uint64
+	k := v.Planes()
+	for i := 0; i < k; i++ {
+		d := v.DispatchedTo(i)
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	ideal := float64(total) / float64(k)
+	p.s.ObserveSpan(from, to, float64(max)-ideal)
+}
+
+// SampleIdleSpan implements IdleSpanSampler. Both switches are empty (and
+// stay empty) across an idle span.
+func (p *InFlightProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	p.pps.ObserveSpan(from, to, float64(v.PPSInFlight()))
+	p.sh.ObserveSpan(from, to, float64(v.ShadowInFlight()))
+}
+
+// SampleIdleSpan implements IdleSpanSampler. A fault event due inside the
+// interval truncates the jump, so the degradation state is constant here.
+func (p *FaultProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	p.live.ObserveSpan(from, to, float64(v.LivePlanes()))
+	p.drops.ObserveSpan(from, to, float64(v.DroppedTotal()))
+}
 
 // StandardProbes returns the full probe set for an N-port, K-plane switch:
 // per-plane backlog, cumulative peak plane queue, input buffer depths, mux

@@ -99,6 +99,63 @@ func (s *Series) Observe(slot cell.Time, v float64) bool {
 	return true
 }
 
+// ObserveSpan records value v for every stride-aligned slot in [from, to),
+// leaving the ring byte-identical to calling Observe(slot, v) for each slot
+// of the span in order. It is the batch path behind the harness's quiescence
+// fast-forward: during an elided idle interval every probe value is
+// constant, so the aligned points can be synthesized in closed form —
+// appends while free capacity lasts, then ring arithmetic for the
+// overwritten tail — without touching the heap.
+func (s *Series) ObserveSpan(from, to cell.Time, v float64) {
+	if s.force {
+		// A pending forced sample fires on the span's first slot regardless
+		// of alignment, exactly as the per-slot path would; delegate it and
+		// continue with the remainder.
+		if from >= to {
+			return
+		}
+		s.Observe(from, v)
+		from++
+	}
+	if s.hasLast && from <= s.lastSlot {
+		from = s.lastSlot + 1
+	}
+	if from >= to {
+		return
+	}
+	first := from + (s.stride-from%s.stride)%s.stride // first aligned slot >= from
+	if first >= to {
+		return
+	}
+	n := int((to-1-first)/s.stride) + 1 // aligned slots in [first, to)
+	s.hasLast, s.lastSlot = true, first+cell.Time(n-1)*s.stride
+	// Fill free tail capacity by appending.
+	k := n
+	if free := s.cap - len(s.pts); k > free {
+		k = free
+	}
+	for i := 0; i < k; i++ {
+		s.pts = append(s.pts, Point{Slot: first + cell.Time(i)*s.stride, Value: v})
+	}
+	rem := n - k
+	if rem == 0 {
+		return
+	}
+	// Ring-overwrite the remaining rem points. Only the last min(rem, cap)
+	// of them survive; write each at the position the per-slot loop would
+	// have left it, then advance the start cursor by the full rem.
+	m := rem
+	if m > s.cap {
+		m = s.cap
+	}
+	base := first + cell.Time(k+rem-m)*s.stride
+	for i := 0; i < m; i++ {
+		s.pts[(s.start+rem-m+i)%s.cap] = Point{Slot: base + cell.Time(i)*s.stride, Value: v}
+	}
+	s.start = (s.start + rem) % s.cap
+	s.dropped += rem
+}
+
 // lastIndex returns the index of the most recently recorded point; only
 // valid when the series is non-empty.
 func (s *Series) lastIndex() int {

@@ -37,6 +37,29 @@ func (c *CBR) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (c *CBR) End() cell.Time { return c.Until }
 
+// NextArrival implements Lookahead in closed form: the earliest per-flow
+// emission slot strictly after `after`, minimized over flows.
+func (c *CBR) NextArrival(after cell.Time) cell.Time {
+	best := cell.None
+	for i := range c.Flows {
+		var ph cell.Time
+		if c.Phase != nil {
+			ph = c.Phase[i]
+		}
+		t := ph
+		if after >= ph {
+			t = ph + ((after-ph)/c.Period+1)*c.Period
+		}
+		if c.Until != cell.None && t >= c.Until {
+			continue
+		}
+		if best == cell.None || t < best {
+			best = t
+		}
+	}
+	return best
+}
+
 // Bernoulli is independent identically distributed traffic: each slot, each
 // input receives a cell with probability Load, destined to an output drawn
 // from the destination distribution. It models the admissible random traffic
@@ -47,6 +70,7 @@ type Bernoulli struct {
 	dist  []float64 // per-input CDF over outputs, row-major n*n
 	rng   *rand.Rand
 	until cell.Time
+	la    lookaheadBuffer
 }
 
 // NewBernoulli returns iid traffic on an n x n switch at the given per-input
@@ -105,6 +129,13 @@ func NewBernoulliWeighted(n int, load float64, weights []float64, until cell.Tim
 // Arrivals implements Source. Note that successive calls must be made with
 // strictly increasing t for the stream to be reproducible.
 func (b *Bernoulli) Arrivals(t cell.Time, dst []Arrival) []Arrival {
+	return b.la.arrivals(t, dst, b.generate)
+}
+
+// generate draws slot t's arrivals, advancing the RNG exactly as a stepped
+// replay would — lookaheadBuffer routes both Arrivals and NextArrival scans
+// through it so the stream stays reproducible either way.
+func (b *Bernoulli) generate(t cell.Time, dst []Arrival) []Arrival {
 	if b.until != cell.None && t >= b.until {
 		return dst
 	}
@@ -126,6 +157,15 @@ func (b *Bernoulli) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (b *Bernoulli) End() cell.Time { return b.until }
 
+// NextArrival implements Lookahead by scanning forward through generate, so
+// the RNG draws land in the same order as a stepped replay.
+func (b *Bernoulli) NextArrival(after cell.Time) cell.Time {
+	if b.load <= 0 {
+		return cell.None // zero load never emits; an unbounded scan would spin
+	}
+	return b.la.nextArrival(after, b.until, b.generate)
+}
+
 // OnOff is bursty two-state traffic: each input alternates between an ON
 // state (a cell arrives every slot, all toward the input's current target
 // output) and an OFF state (silence). State dwell times are geometric.
@@ -138,6 +178,7 @@ type OnOff struct {
 	on           []bool
 	target       []cell.Port
 	retargetOnOn bool
+	la           lookaheadBuffer
 }
 
 // NewOnOff returns bursty traffic on an n x n switch. meanOn and meanOff are
@@ -165,6 +206,12 @@ func NewOnOff(n int, meanOn, meanOff float64, until cell.Time, seed int64) (*OnO
 
 // Arrivals implements Source.
 func (o *OnOff) Arrivals(t cell.Time, dst []Arrival) []Arrival {
+	return o.la.arrivals(t, dst, o.generate)
+}
+
+// generate advances every input's two-state chain by one slot, drawing the
+// RNG exactly as a stepped replay would (see Bernoulli.generate).
+func (o *OnOff) generate(t cell.Time, dst []Arrival) []Arrival {
 	if o.until != cell.None && t >= o.until {
 		return dst
 	}
@@ -186,6 +233,12 @@ func (o *OnOff) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 
 // End implements Source.
 func (o *OnOff) End() cell.Time { return o.until }
+
+// NextArrival implements Lookahead. The scan terminates with probability one:
+// pOffToOn >= 1/meanOff > 0, so some input eventually turns on.
+func (o *OnOff) NextArrival(after cell.Time) cell.Time {
+	return o.la.nextArrival(after, o.until, o.generate)
+}
 
 // Permutation emits, every slot, one cell per input following a fixed
 // permutation (input i -> output perm[i]). It is the heaviest admissible
@@ -221,6 +274,21 @@ func (p *Permutation) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 
 // End implements Source.
 func (p *Permutation) End() cell.Time { return p.Until }
+
+// NextArrival implements Lookahead: a non-empty permutation emits every slot.
+func (p *Permutation) NextArrival(after cell.Time) cell.Time {
+	if len(p.Perm) == 0 {
+		return cell.None
+	}
+	t := after + 1
+	if t < 0 {
+		t = 0
+	}
+	if p.Until != cell.None && t >= p.Until {
+		return cell.None
+	}
+	return t
+}
 
 // Hotspot sends a fraction of every input's Bernoulli traffic to a single
 // hot output and spreads the remainder uniformly. Per-output admissibility
@@ -259,6 +327,11 @@ func (h *Hotspot) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (h *Hotspot) End() cell.Time { return h.inner.End() }
 
+// NextArrival implements Lookahead by delegating to the weighted Bernoulli.
+func (h *Hotspot) NextArrival(after cell.Time) cell.Time {
+	return h.inner.NextArrival(after)
+}
+
 // Flood sends, every slot, one cell from every input to the same output —
 // rate N*R toward one port. It is deliberately NOT leaky-bucket conformant
 // for any fixed B; Section 5 uses it to create congested periods.
@@ -281,3 +354,18 @@ func (f *Flood) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 
 // End implements Source.
 func (f *Flood) End() cell.Time { return f.Until }
+
+// NextArrival implements Lookahead: a flood with inputs emits every slot.
+func (f *Flood) NextArrival(after cell.Time) cell.Time {
+	if f.N <= 0 {
+		return cell.None
+	}
+	t := after + 1
+	if t < 0 {
+		t = 0
+	}
+	if f.Until != cell.None && t >= f.Until {
+		return cell.None
+	}
+	return t
+}

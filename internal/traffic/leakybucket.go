@@ -180,6 +180,7 @@ type Regulator struct {
 	queues [][]Arrival // per-input FIFO of pending arrivals
 	last   cell.Time
 	walked cell.Time // next slot to pull from inner
+	la     lookaheadBuffer
 }
 
 // NewRegulator wraps src (which must be bounded for End to be meaningful)
@@ -199,6 +200,13 @@ func NewRegulator(n int, b int64, src Source) *Regulator {
 
 // Arrivals implements Source. Slots must be queried in increasing order.
 func (r *Regulator) Arrivals(t cell.Time, dst []Arrival) []Arrival {
+	return r.la.arrivals(t, dst, r.release)
+}
+
+// release is the raw per-slot shaping step (the pre-lookahead Arrivals
+// body); both Arrivals and NextArrival scans route through it so the shaping
+// queues and token buckets evolve identically either way.
+func (r *Regulator) release(t cell.Time, dst []Arrival) []Arrival {
 	if t <= r.last {
 		panic("traffic: Regulator slots must be queried in increasing order")
 	}
@@ -264,6 +272,51 @@ func (r *Regulator) End() cell.Time {
 		return r.last + 1
 	}
 	return end
+}
+
+// NextArrival implements Lookahead. The scan cannot use a fixed limit — the
+// shaped backlog drains past the inner source's end — so it guards
+// exhaustion explicitly: empty shaping queues plus a provably silent inner
+// source (walked past a bounded End, or an inner Lookahead reporting None)
+// mean no release can ever happen. When the inner source implements
+// Lookahead and the backlog is empty, the scan also jumps straight to the
+// inner's next arrival slot — the slots between cannot release anything.
+// An unbounded inner source without Lookahead must eventually emit for this
+// query to terminate.
+func (r *Regulator) NextArrival(after cell.Time) cell.Time {
+	if r.la.pendOK {
+		if r.la.pendSlot > after {
+			return r.la.pendSlot
+		}
+		panic("traffic: NextArrival would skip a buffered unconsumed slot; consume Arrivals in order")
+	}
+	t := r.la.next
+	if t <= after {
+		t = after + 1
+	}
+	for {
+		if r.Backlog() == 0 {
+			if end := r.inner.End(); end != cell.None && r.walked >= end {
+				return cell.None
+			}
+			if il, ok := r.inner.(Lookahead); ok {
+				s := il.NextArrival(r.walked - 1)
+				if s == cell.None {
+					return cell.None
+				}
+				if s > t {
+					t = s
+				}
+			}
+		}
+		r.la.pend = r.release(t, r.la.pend[:0])
+		r.la.next = t + 1
+		if len(r.la.pend) > 0 {
+			r.la.pendSlot, r.la.pendOK = t, true
+			return t
+		}
+		t++
+	}
 }
 
 // Backlog reports the number of cells currently held in shaping queues.

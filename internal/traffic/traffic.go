@@ -46,6 +46,10 @@ type Source interface {
 type Trace struct {
 	slots map[cell.Time][]Arrival
 	end   cell.Time // one past the last populated slot
+	// keys caches the non-empty slots in ascending order for NextArrival's
+	// binary search; keysOK is invalidated by Add and rebuilt lazily.
+	keys   []cell.Time
+	keysOK bool
 }
 
 // NewTrace returns an empty trace.
@@ -65,6 +69,7 @@ func (tr *Trace) Add(t cell.Time, in, out cell.Port) error {
 		}
 	}
 	tr.slots[t] = append(tr.slots[t], Arrival{In: in, Out: out})
+	tr.keysOK = false
 	if t+1 > tr.end {
 		tr.end = t + 1
 	}
@@ -91,6 +96,27 @@ func (tr *Trace) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 
 // End implements Source.
 func (tr *Trace) End() cell.Time { return tr.end }
+
+// NextArrival implements Lookahead: binary search over the lazily built
+// sorted slot index. Unlike generator lookaheads, trace queries are free of
+// state, so non-monotone queries are fine.
+func (tr *Trace) NextArrival(after cell.Time) cell.Time {
+	if !tr.keysOK {
+		tr.keys = tr.keys[:0]
+		for t, as := range tr.slots {
+			if len(as) > 0 {
+				tr.keys = append(tr.keys, t)
+			}
+		}
+		sort.Slice(tr.keys, func(i, j int) bool { return tr.keys[i] < tr.keys[j] })
+		tr.keysOK = true
+	}
+	i := sort.Search(len(tr.keys), func(i int) bool { return tr.keys[i] > after })
+	if i == len(tr.keys) {
+		return cell.None
+	}
+	return tr.keys[i]
+}
 
 // Count reports the total number of scheduled arrivals.
 func (tr *Trace) Count() int {
@@ -171,3 +197,8 @@ func (c *Concat) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 
 // End implements Source.
 func (c *Concat) End() cell.Time { return c.trace.End() }
+
+// NextArrival implements Lookahead via the flattened trace.
+func (c *Concat) NextArrival(after cell.Time) cell.Time {
+	return c.trace.NextArrival(after)
+}

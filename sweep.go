@@ -48,7 +48,11 @@ func RunSweep(points []SweepPoint, workers int) []SweepResult {
 		return results
 	}
 	var wg sync.WaitGroup
-	idx := make(chan int)
+	// Buffered to the full point count: the feed loop below then never
+	// blocks, so a worker that dies without draining the channel (it
+	// shouldn't — runPoint converts panics to errors — but defense in depth)
+	// cannot deadlock the sweep against a blocked send.
+	idx := make(chan int, len(points))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

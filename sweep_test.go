@@ -112,3 +112,37 @@ func TestRunSweepIsolatesFailures(t *testing.T) {
 		t.Errorf("panic not captured: %v", res[3].Err)
 	}
 }
+
+// TestRunSweepMoreWorkersThanPoints drives the buffered feed path with the
+// two failure modes combined: a requested worker count above the point count
+// (clamped, so the extra workers never spin) and a panicking factory in the
+// mix. The sweep must complete — not deadlock on the index channel — and
+// report per-point outcomes in order.
+func TestRunSweepMoreWorkersThanPoints(t *testing.T) {
+	okCfg := ppsim.Config{N: 4, K: 4, RPrime: 2, Algorithm: ppsim.Algorithm{Name: "rr"}}
+	pts := []ppsim.SweepPoint{
+		{
+			Label:     "panicky",
+			Config:    okCfg,
+			NewSource: func() ppsim.Source { panic("boom") },
+		},
+		{
+			Label:     "good",
+			Config:    okCfg,
+			NewSource: func() ppsim.Source { return ppsim.NewBernoulli(4, 0.5, 50, 1) },
+		},
+	}
+	res := ppsim.RunSweep(pts, 16)
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "panicked") {
+		t.Errorf("panic not captured: %v", res[0].Err)
+	}
+	if res[1].Err != nil {
+		t.Errorf("good point failed: %v", res[1].Err)
+	}
+	if res[1].Result.Report.Cells == 0 {
+		t.Error("good point ran empty")
+	}
+}
