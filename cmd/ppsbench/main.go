@@ -4,8 +4,10 @@
 // engine — and writes a machine-readable BENCH_<rev>.json next to the working
 // directory. The committed BENCH_*.json files seed the repo's perf
 // trajectory: every PR that claims a speedup re-runs the suite and compares
-// slots/sec and allocs/slot against the checked-in baseline (see the
-// "Benchmarking" section of README.md).
+// slots/sec, allocs/slot, and tail delay (p99/p999 relative queuing delay)
+// against the checked-in baseline (see the "Benchmarking" section of
+// README.md). With -compare, cases regressing beyond -gate percent are
+// flagged; -gate-strict turns the flag into a non-zero exit.
 //
 // Examples:
 //
@@ -62,6 +64,12 @@ type benchResult struct {
 	// (-fastforward); absent for stepped runs, so older files read (and
 	// diff) unchanged.
 	SlotsElided uint64 `json:"slots_elided,omitempty"`
+	// Percentiles is the per-component delay decomposition tail block
+	// (hist-derived nearest-rank quantiles: rqd, demux_wait, plane_wait,
+	// reseq_wait, total_delay, interdeparture_gap). Pointer + omitempty
+	// keeps files written before the field existed readable and diffable;
+	// -compare treats an absent block as "no tail data".
+	Percentiles *ppsim.DelayQuantiles `json:"percentiles,omitempty"`
 }
 
 // benchFile is the stable schema of a BENCH_<rev>.json file. Fields added
@@ -225,6 +233,9 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 		out.AllocsPerSlot = float64(after.Mallocs-before.Mallocs) / float64(slots)
 		out.BytesPerSlot = float64(after.TotalAlloc-before.TotalAlloc) / float64(slots)
 	}
+	if q := res.Report.Percentiles; q.RQD.N > 0 {
+		out.Percentiles = &q
+	}
 	return out, nil
 }
 
@@ -262,7 +273,9 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault schedule injected into every case, e.g. fail:0@1000,recover:0@3000")
 		faultPol  = flag.String("fault-policy", "abort", "degradation policy: abort or dropcount")
 		fastfwd   = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; records slots_elided)")
-		baseline  = flag.String("compare", "", "print a markdown delta table against this BENCH_<rev>.json baseline (non-gating)")
+		baseline  = flag.String("compare", "", "print a markdown delta table against this BENCH_<rev>.json baseline")
+		gate      = flag.Float64("gate", 10, "with -compare: flag cases whose slots/sec drop or whose p99 rqd grows by more than this percent (0 disables)")
+		strict    = flag.Bool("gate-strict", false, "with -compare: exit 1 when any case trips the -gate threshold (default: warn only)")
 	)
 	flag.Parse()
 
@@ -359,26 +372,35 @@ func main() {
 	fmt.Println("wrote", path)
 
 	if *baseline != "" {
-		if err := printDelta(os.Stdout, *baseline, report); err != nil {
+		flagged, err := printDelta(os.Stdout, *baseline, report, *gate)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsbench:", err)
 			os.Exit(1)
+		}
+		if flagged > 0 {
+			fmt.Fprintf(os.Stderr, "ppsbench: warning: %d case(s) beyond the %.0f%% gate\n", flagged, *gate)
+			if *strict {
+				os.Exit(1)
+			}
 		}
 	}
 }
 
 // printDelta renders a dependency-free benchstat substitute: a markdown
-// table of per-case slots/sec against a committed baseline file. The CI
-// bench-compare job pipes it into the job summary. It is informational only
-// — regressions print but never change the exit status; only an unreadable
-// baseline is an error.
-func printDelta(w io.Writer, baselinePath string, cur benchFile) error {
+// table of per-case slots/sec and tail (p99 rqd) deltas against a committed
+// baseline file. The CI bench-compare job pipes it into the job summary.
+// Cases whose slots/sec drop, or whose p99 relative queuing delay grows,
+// by more than gatePct percent are marked ⚠ and counted in the return value
+// (gatePct <= 0 disables marking); the caller decides whether a non-zero
+// count is fatal. Only an unreadable baseline is an error.
+func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64) (int, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var base benchFile
 	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+		return 0, fmt.Errorf("parsing %s: %w", baselinePath, err)
 	}
 	byName := make(map[string]benchResult, len(base.Results))
 	for _, r := range base.Results {
@@ -389,17 +411,55 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile) error {
 		fmt.Fprintf(w, "> note: configurations differ (quick %v/%v, workers %d/%d, fastforward %v/%v) — deltas are indicative only\n\n",
 			base.Quick, cur.Quick, base.Workers, cur.Workers, base.FastForward, cur.FastForward)
 	}
-	fmt.Fprintln(w, "| case | baseline slots/s | new slots/s | delta | allocs/slot (base → new) |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	flagged := 0
+	fmt.Fprintln(w, "| case | baseline slots/s | new slots/s | delta | allocs/slot (base → new) | p99 rqd (base → new) | p999 rqd (base → new) |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
 	for _, r := range cur.Results {
 		b, ok := byName[r.Name]
 		if !ok || b.SlotsPerSec == 0 {
-			fmt.Fprintf(w, "| %s | — | %.0f | new | — → %.1f |\n", r.Name, r.SlotsPerSec, r.AllocsPerSlot)
+			fmt.Fprintf(w, "| %s | — | %.0f | new | — → %.1f | — → %s | — → %s |\n",
+				r.Name, r.SlotsPerSec, r.AllocsPerSlot, tailCell(r.Percentiles, 99), tailCell(r.Percentiles, 99.9))
 			continue
 		}
 		delta := (r.SlotsPerSec/b.SlotsPerSec - 1) * 100
-		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | %.1f → %.1f |\n",
-			r.Name, b.SlotsPerSec, r.SlotsPerSec, delta, b.AllocsPerSlot, r.AllocsPerSlot)
+		trip := gatePct > 0 && delta < -gatePct
+		if gatePct > 0 && b.Percentiles != nil && r.Percentiles != nil &&
+			b.Percentiles.RQD.N > 0 && r.Percentiles.RQD.N > 0 &&
+			tailRegressed(b.Percentiles.RQD.P99, r.Percentiles.RQD.P99, gatePct) {
+			trip = true
+		}
+		mark := ""
+		if trip {
+			mark = " ⚠"
+			flagged++
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s | %.1f → %.1f | %s → %s | %s → %s |\n",
+			r.Name, b.SlotsPerSec, r.SlotsPerSec, delta, mark, b.AllocsPerSlot, r.AllocsPerSlot,
+			tailCell(b.Percentiles, 99), tailCell(r.Percentiles, 99),
+			tailCell(b.Percentiles, 99.9), tailCell(r.Percentiles, 99.9))
 	}
-	return nil
+	return flagged, nil
+}
+
+// tailCell formats one rqd quantile for the delta table, or an em dash when
+// the side carries no percentile block (pre-schema baselines, empty runs).
+func tailCell(q *ppsim.DelayQuantiles, p float64) string {
+	if q == nil || q.RQD.N == 0 {
+		return "—"
+	}
+	if p >= 99.9 {
+		return fmt.Sprintf("%d", q.RQD.P999)
+	}
+	return fmt.Sprintf("%d", q.RQD.P99)
+}
+
+// tailRegressed reports whether the new p99 rqd regressed past the gate:
+// more than pct percent above a positive baseline, or more than one slot
+// above a zero/negative baseline (a percent of a non-positive tail is
+// meaningless, and one slot of growth there is quantization noise).
+func tailRegressed(base, cur int64, pct float64) bool {
+	if base > 0 {
+		return float64(cur) > float64(base)*(1+pct/100)
+	}
+	return cur > base+1
 }

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppsim"
+)
+
+// quantiles builds a minimal percentile block with the given rqd tail.
+func quantiles(p99, p999 int64) *ppsim.DelayQuantiles {
+	return &ppsim.DelayQuantiles{
+		RQD: ppsim.Quantiles{N: 100, P99: p99, P999: p999},
+	}
+}
+
+// TestBenchSchemaPercentilesOmitEmpty pins the backward-compatibility
+// contract: a result without a percentile block serializes without the key
+// at all (so pre-schema diffs stay byte-stable), one with a block carries
+// the nested component quantiles under their documented JSON names, and a
+// pre-schema file (no "percentiles" keys anywhere) still unmarshals.
+func TestBenchSchemaPercentilesOmitEmpty(t *testing.T) {
+	f := benchFile{
+		Rev: "t",
+		Results: []benchResult{
+			{benchCase: benchCase{Name: "old"}},
+			{benchCase: benchCase{Name: "new"}, Percentiles: quantiles(7, 12)},
+		},
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		Results []map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.Results[0]["percentiles"]; ok {
+		t.Error("result without tail data should omit the percentiles key")
+	}
+	pb, ok := raw.Results[1]["percentiles"]
+	if !ok {
+		t.Fatal("result with tail data lost its percentiles key")
+	}
+	for _, key := range []string{"rqd", "demux_wait", "plane_wait", "reseq_wait", "total_delay", "interdeparture_gap"} {
+		if !strings.Contains(string(pb), `"`+key+`"`) {
+			t.Errorf("percentile block missing component %q: %s", key, pb)
+		}
+	}
+
+	var back benchFile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[1].Percentiles == nil || back.Results[1].Percentiles.RQD.P99 != 7 {
+		t.Errorf("round-trip lost the tail block: %+v", back.Results[1].Percentiles)
+	}
+
+	// A baseline written before the field existed must still parse.
+	pre := `{"rev":"pr5","results":[{"name":"bursty/n8/k2","slots_per_sec":100}]}`
+	var old benchFile
+	if err := json.Unmarshal([]byte(pre), &old); err != nil {
+		t.Fatalf("pre-schema file no longer parses: %v", err)
+	}
+	if old.Results[0].Percentiles != nil {
+		t.Error("pre-schema file should read as a nil percentile block")
+	}
+}
+
+// writeBaseline marshals a benchFile into a temp baseline for printDelta.
+func writeBaseline(t *testing.T, f benchFile) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPrintDeltaTailColumns exercises the delta table: tail columns render
+// both sides, an absent baseline block shows an em dash, and the gate flags
+// (a) a throughput regression and (b) a tail regression — but not a case
+// that is merely slower within the threshold.
+func TestPrintDeltaTailColumns(t *testing.T) {
+	base := benchFile{Rev: "base", Results: []benchResult{
+		{benchCase: benchCase{Name: "fine"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "slow"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "tail"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "notail"}, SlotsPerSec: 1000},
+	}}
+	cur := benchFile{Rev: "cur", Results: []benchResult{
+		{benchCase: benchCase{Name: "fine"}, SlotsPerSec: 950, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "slow"}, SlotsPerSec: 500, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "tail"}, SlotsPerSec: 1000, Percentiles: quantiles(30, 60)},
+		{benchCase: benchCase{Name: "notail"}, SlotsPerSec: 1000, Percentiles: quantiles(5, 9)},
+	}}
+
+	var sb strings.Builder
+	flagged, err := printDelta(&sb, writeBaseline(t, base), cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if flagged != 2 {
+		t.Errorf("flagged = %d, want 2 (slow + tail)\n%s", flagged, out)
+	}
+	for _, want := range []string{
+		"| fine | 1000 | 950 | -5.0% | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
+		"| slow | 1000 | 500 | -50.0% ⚠ |",
+		"| tail | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 10 → 30 | 20 → 60 |",
+		"| notail | 1000 | 1000 | +0.0% | 0.0 → 0.0 | — → 5 | — → 9 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+
+	// gate 0 disables flagging entirely.
+	sb.Reset()
+	flagged, err = printDelta(&sb, writeBaseline(t, base), cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged != 0 {
+		t.Errorf("gate 0 flagged %d cases, want 0", flagged)
+	}
+	if strings.Contains(sb.String(), "⚠") {
+		t.Error("gate 0 should not mark any row")
+	}
+}
+
+// TestTailRegressed pins the non-positive-baseline convention: percent above
+// a positive base, more-than-one-slot above a zero/negative base.
+func TestTailRegressed(t *testing.T) {
+	cases := []struct {
+		base, cur int64
+		pct       float64
+		want      bool
+	}{
+		{100, 109, 10, false},
+		{100, 111, 10, true},
+		{0, 1, 10, false},
+		{0, 2, 10, true},
+		{-3, -2, 10, false},
+		{-3, 0, 10, true},
+	}
+	for _, c := range cases {
+		if got := tailRegressed(c.base, c.cur, c.pct); got != c.want {
+			t.Errorf("tailRegressed(%d, %d, %.0f) = %v, want %v", c.base, c.cur, c.pct, got, c.want)
+		}
+	}
+}
+
+// TestRunRecordsPercentiles runs one tiny case end to end and checks the
+// measured result carries a populated tail block whose components agree in
+// count (every delivered cell contributes one sample to each component).
+func TestRunRecordsPercentiles(t *testing.T) {
+	c := benchCase{Name: "t", Traffic: "uniform", N: 8, K: 2, RPrime: 2, Slots: 400, Seed: 1}
+	res, err := run(c, 0, nil, ppsim.FaultAbort, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Percentiles
+	if q == nil || q.RQD.N == 0 {
+		t.Fatalf("bench result missing tail block: %+v", q)
+	}
+	if q.Demux.N != q.RQD.N || q.Plane.N != q.RQD.N || q.Reseq.N != q.RQD.N || q.Total.N != q.RQD.N {
+		t.Errorf("component counts disagree: %+v", q)
+	}
+}

@@ -26,6 +26,7 @@ func main() {
 		k      = flag.Int("k", 2, "center-stage planes K")
 		rprime = flag.Int64("rprime", 2, "internal line occupancy r' = R/r")
 		series = flag.Bool("series", false, "run a simulation and stream per-slot probe series instead of rendering")
+		pctl   = flag.Bool("percentiles", false, "run a simulation and print the per-component delay percentile table (with -series it goes to stderr, after the series)")
 		alg    = flag.String("alg", "rr", "demultiplexing algorithm (series mode)")
 		kind   = flag.String("traffic", "steering", "traffic: bernoulli, flood, permutation, steering (series mode)")
 		load   = flag.Float64("load", 0.6, "per-input load for bernoulli (series mode)")
@@ -47,29 +48,47 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if !*series {
+	if !*series && !*pctl {
 		fmt.Print(Render(*n, *k, *rprime))
 		return
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ppsdiag:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	err := runSeries(w, seriesConfig{
+	sc := seriesConfig{
 		N: *n, K: *k, RPrime: *rprime,
 		Alg: *alg, Kind: *kind, Load: *load, Seed: *seed,
 		Slots:  ppsim.Time(*slots),
 		Stride: ppsim.Time(*stride),
 		Cap:    int(*scap),
 		Format: *format,
-	})
+	}
+	var w *os.File
+	if *series {
+		w = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ppsdiag:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+	}
+	if *pctl {
+		// Table-only mode prints to stdout; combined with -series the table
+		// moves to stderr so piped CSV/JSON stays machine-readable.
+		if *series {
+			sc.Percentiles = os.Stderr
+		} else {
+			sc.Percentiles = os.Stdout
+		}
+	}
+	var err error
+	if *series {
+		err = runSeries(w, sc)
+	} else {
+		err = runSeries(nil, sc)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppsdiag:", err)
 		os.Exit(1)

@@ -20,6 +20,11 @@ type seriesConfig struct {
 	Stride ppsim.Time
 	Cap    int    // points retained per series; 0 = default ring capacity
 	Format string // csv or json
+	// Percentiles, when non-nil, receives the per-component delay
+	// percentile table after the run (rqd, demux, plane, reseq, total,
+	// inter-departure gap) — kept separate from w so piped CSV/JSON stays
+	// machine-readable.
+	Percentiles io.Writer
 }
 
 // runSeries executes one instrumented run and streams every standard probe
@@ -44,19 +49,36 @@ func runSeries(w io.Writer, sc seriesConfig) error {
 	if err != nil {
 		return err
 	}
-	probes := ppsim.StandardProbes(sc.N, sc.K, sc.Stride, sc.Cap)
-	res, err := ppsim.Run(cfg, src, ppsim.Options{Probes: probes})
+	var opts ppsim.Options
+	if w != nil {
+		opts.Probes = ppsim.StandardProbes(sc.N, sc.K, sc.Stride, sc.Cap)
+	}
+	res, err := ppsim.Run(cfg, src, opts)
 	if err != nil {
 		return err
 	}
-	switch sc.Format {
-	case "", "csv":
-		return ppsim.WriteSeriesCSV(w, res.Series)
-	case "json":
-		return ppsim.WriteSeriesJSON(w, res.Series)
-	default:
-		return fmt.Errorf("unknown series format %q (want csv or json)", sc.Format)
+	if w != nil {
+		switch sc.Format {
+		case "", "csv":
+			err = ppsim.WriteSeriesCSV(w, res.Series)
+		case "json":
+			err = ppsim.WriteSeriesJSON(w, res.Series)
+		default:
+			err = fmt.Errorf("unknown series format %q (want csv or json)", sc.Format)
+		}
+		if err != nil {
+			return err
+		}
 	}
+	if sc.Percentiles != nil {
+		if _, err := fmt.Fprintln(sc.Percentiles, "delay percentiles (slots):"); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(sc.Percentiles, res.Report.PercentileTable()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // seriesTraffic builds the workloads most useful for per-slot inspection:

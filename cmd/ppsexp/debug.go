@@ -11,19 +11,32 @@ import (
 )
 
 // startDebugServer serves net/http/pprof plus a plain-text /metrics endpoint
-// backed by the suite's registry on addr (e.g. "localhost:6060"). It returns
-// the bound address so callers (and tests) can use ":0".
-func startDebugServer(addr string, reg *ppsim.MetricsRegistry) (string, error) {
+// backed by the suite's registry and a /telemetry JSON endpoint backed by
+// the live telemetry aggregator on addr (e.g. "localhost:6060"). It returns
+// the bound address so callers (and tests) can use ":0". tel may be nil,
+// in which case /telemetry serves the zero snapshot.
+func startDebugServer(addr string, reg *ppsim.MetricsRegistry, tel *ppsim.Telemetry) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	// A dedicated mux (delegating /debug/pprof/* to the default mux, where
+	// the pprof import registered itself) keeps repeated server starts —
+	// tests bind several on port 0 — from panicking on duplicate patterns.
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		reg.Snapshot().WriteText(w)
 	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tel.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	go func() {
-		if err := http.Serve(ln, nil); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "ppsexp: debug server:", err)
 		}
 	}()

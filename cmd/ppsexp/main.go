@@ -6,9 +6,10 @@
 //	ppsexp [-quick] [-markdown] [-run E4,E5]
 //
 // Without -run it executes the full suite in ID order. With -debug-addr it
-// also serves net/http/pprof and a /metrics endpoint (suite telemetry:
-// experiments run, failures, table rows, wall-time histogram) while the
-// suite executes.
+// also serves net/http/pprof, a /metrics endpoint (suite telemetry:
+// experiments run, failures, table rows, wall-time histogram) and a
+// /telemetry JSON endpoint (live run state: per-slot gauges plus streaming
+// delay-percentile histograms) while the suite executes.
 package main
 
 import (
@@ -33,12 +34,17 @@ func main() {
 
 	reg := ppsim.NewMetricsRegistry()
 	if *debugAddr != "" {
-		addr, err := startDebugServer(*debugAddr, reg)
+		// Live telemetry is installed process-wide (the experiment layer does
+		// not thread harness options), so every run the suite starts reports
+		// its per-slot gauges and delay histograms to /telemetry.
+		tel := ppsim.NewTelemetry()
+		ppsim.SetGlobalTelemetry(tel)
+		addr, err := startDebugServer(*debugAddr, reg, tel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsexp:", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "ppsexp: pprof and /metrics on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "ppsexp: pprof, /metrics and /telemetry on http://%s\n", addr)
 	}
 
 	if *list {

@@ -37,6 +37,7 @@ func main() {
 		slots      = flag.Int64("slots", 5000, "traffic horizon in slots")
 		algs       = flag.Bool("algs", false, "list algorithms and exit")
 		verbose    = flag.Bool("v", false, "print utilization per output")
+		pctl       = flag.Bool("percentiles", false, "print the per-component delay percentile table (rqd, demux, plane, reseq, total, inter-departure gap)")
 		workers    = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
 		fastfwd    = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; ignored with -trace)")
 		trace      = flag.String("trace", "", "write a JSONL event trace to FILE")
@@ -135,6 +136,12 @@ func main() {
 	}
 
 	res, err := ppsim.Run(cfg, src, opts)
+	// Flush the buffered JSONL trace as soon as the run is over — before any
+	// exit path — so the tail survives even a failed run (a violation trace
+	// is most valuable exactly then). Close is nil-safe without -trace.
+	if cerr := opts.Tracer.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "ppssim: trace:", cerr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppssim:", err)
 		os.Exit(1)
@@ -143,6 +150,10 @@ func main() {
 	fmt.Printf("switch: N=%d K=%d r'=%d S=%.2f traffic=%s\n",
 		*n, *k, *rprime, cfg.Speedup(), *kind)
 	fmt.Println(res)
+	if *pctl {
+		fmt.Println("delay percentiles (slots):")
+		fmt.Print(res.Report.PercentileTable())
+	}
 	if *verbose {
 		for j, u := range res.Utilization {
 			if u > 0 {

@@ -78,6 +78,10 @@ type slotStepper struct {
 	buf                 []traffic.Arrival
 	deps, shDeps, cells []cell.Cell
 	slot                cell.Time
+	// tel/telPrev, when set, replicate Drive's live-telemetry path: a tick
+	// per slot and a histogram delta-flush at the flush stride.
+	tel     *obs.Telemetry
+	telPrev *obs.DelaySet
 }
 
 func newSlotStepper(tb testing.TB, src traffic.Source) *slotStepper {
@@ -116,7 +120,20 @@ func (s *slotStepper) step() {
 	for _, d := range s.shDeps {
 		s.rec.ShadowDepart(d)
 	}
+	if s.tel != nil {
+		s.tel.Tick(int64(s.slot), s.pps.Backlog(), s.rec.Matched(), s.rec.Drops())
+		if s.slot%telemetryFlushStride == 0 {
+			s.tel.ObserveDelays(s.rec.Delays(), s.telPrev)
+		}
+	}
 	s.slot++
+}
+
+// attachTelemetry wires a live telemetry aggregator into the stepper, as
+// Drive would.
+func (s *slotStepper) attachTelemetry() {
+	s.tel = obs.NewTelemetry()
+	s.telPrev = obs.NewDelaySet()
 }
 
 // TestSteadyStateSlotAllocFree is the allocation guard: with checks,
@@ -125,7 +142,10 @@ func (s *slotStepper) step() {
 // structure (flow maps, ring capacities, per-flow heaps) to its
 // steady-state footprint, and Recorder.Reserve removes the amortized
 // growth of the per-cell tables, so any allocation in the measured window
-// is a regression on the hot path.
+// is a regression on the hot path. Percentile recording (the recorder's
+// streaming delay histograms are always on) and the live-telemetry tick +
+// delta-flush path are included: the measured window straddles a flush
+// stride, so the O(buckets) fold is exercised too.
 func TestSteadyStateSlotAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instruments allocations; guard only meaningful on plain builds")
@@ -133,6 +153,7 @@ func TestSteadyStateSlotAllocFree(t *testing.T) {
 	const warm, window = 4096, 512
 	horizon := cell.Time(warm + window + 16)
 	s := newSlotStepper(t, traffic.NewBernoulli(benchCfg().N, 0.6, horizon, 1))
+	s.attachTelemetry()
 	s.rec.Reserve(benchCfg().N * int(horizon))
 	for s.slot < warm {
 		s.step()
@@ -157,6 +178,7 @@ func TestParallelSlotAllocFree(t *testing.T) {
 	cfg := benchCfg()
 	cfg.Workers = 4
 	s := newSlotStepperCfg(t, cfg, traffic.NewBernoulli(cfg.N, 0.6, horizon, 1))
+	s.attachTelemetry()
 	defer s.pps.Close()
 	if s.pps.Workers() != 4 {
 		t.Fatalf("Workers() = %d, want 4", s.pps.Workers())

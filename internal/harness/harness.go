@@ -66,6 +66,13 @@ type Options struct {
 	// (harness_* counters and histograms) at the end of the run. A single
 	// registry may be shared across runs; it is concurrency-safe.
 	Metrics *obs.Registry
+	// Telemetry, if non-nil, receives live run state: per-slot gauges every
+	// slot (atomic stores, allocation-free) and the delay-attribution
+	// histograms at a coarse flush cadence, so external observers (ppsexp's
+	// /telemetry endpoint) can snapshot a run mid-flight. When nil, the
+	// process-global aggregator (obs.SetGlobalTelemetry) is used if one is
+	// installed. A single Telemetry may be shared across concurrent runs.
+	Telemetry *obs.Telemetry
 	// Workers engages the stage-parallel engines: 0 (the default) runs
 	// everything serially, -1 picks a fabric worker count from GOMAXPROCS
 	// and N (fabric.ResolveWorkers), and a positive value uses exactly
@@ -166,6 +173,13 @@ func Run(cfg fabric.Config, factory func(demux.Env) (demux.Algorithm, error), sr
 	return Drive(pps, src, opts)
 }
 
+// telemetryFlushStride is how often (in slots) Drive folds the recorder's
+// delay histograms into the live telemetry aggregator. Coarse on purpose:
+// the flush takes the aggregator's mutex and walks every histogram bucket,
+// so it must stay off the per-slot fast path; /telemetry snapshots are at
+// most this many slots stale.
+const telemetryFlushStride = 4096
+
 // shadowSlot is one slot of work handed to the overlapped shadow pipeline:
 // the slot index and the stamped arrivals (read-only for both switches).
 type shadowSlot struct {
@@ -239,6 +253,21 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 	var view *slotView
 	if probing {
 		view = &slotView{pps: pps, sh: sh}
+	}
+
+	// Live telemetry: explicit Options.Telemetry wins, else the process
+	// global. Per-slot ticks are atomic stores; the delay histograms are
+	// delta-flushed every telemetryFlushStride slots (and once at the end),
+	// so the steady-state slot path stays lock- and allocation-free.
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = obs.GlobalTelemetry()
+	}
+	var telPrev *obs.DelaySet
+	if tel != nil {
+		telPrev = obs.NewDelaySet()
+		tel.RunStarted()
+		defer tel.RunFinished()
 	}
 
 	// Overlapped shadow pipeline: with Workers != 0 the shadow switch
@@ -390,6 +419,16 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 				pb.Sample(view)
 			}
 		}
+		if tel != nil {
+			tel.Tick(int64(slot), pps.Backlog(), rec.Matched(), rec.Drops())
+			if slot%telemetryFlushStride == 0 {
+				tel.ObserveDelays(rec.Delays(), telPrev)
+			}
+		}
+	}
+	if tel != nil {
+		tel.ObserveDelays(rec.Delays(), telPrev)
+		tel.Tick(int64(slot), pps.Backlog(), rec.Matched(), rec.Drops())
 	}
 	if !pps.Drained() || !sh.Drained() {
 		return Result{}, fmt.Errorf("harness: not drained after %d slots (pps backlog %d, shadow backlog %d)",
@@ -476,6 +515,12 @@ func (r Result) String() string {
 		r.Report.MeanInputWait, r.Report.MaxInputWait,
 		r.Report.MeanPlaneWait, r.Report.MaxPlaneWait,
 		r.Report.MeanOutputWait, r.Report.MaxOutputWait)
+	if q := r.Report.Percentiles; q.RQD.N > 0 {
+		fmt.Fprintf(&b, "\nrqd p50/p99/p999: %d/%d/%d  interdep gap p99: %d",
+			q.RQD.P50, q.RQD.P99, q.RQD.P999, q.Gap.P99)
+		fmt.Fprintf(&b, "\ntail p99 demux/plane/reseq: %d/%d/%d",
+			q.Demux.P99, q.Plane.P99, q.Reseq.P99)
+	}
 	if len(r.Utilization) > 0 {
 		min, mean, active := 1.0, 0.0, 0
 		for _, u := range r.Utilization {

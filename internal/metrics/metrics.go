@@ -13,8 +13,10 @@ package metrics
 
 import (
 	"fmt"
+	"strings"
 
 	"ppsim/internal/cell"
+	"ppsim/internal/obs"
 	"ppsim/internal/stats"
 )
 
@@ -95,6 +97,17 @@ type Recorder struct {
 	planeWait  waitAccum
 	outputWait waitAccum
 
+	// delays holds the streaming log-bucketed histograms behind the report's
+	// percentile block: RQD, the three-stage decomposition, the total PPS
+	// delay and the per-output inter-departure gap. Recording is O(1) and
+	// allocation-free; the recorder is fed from one goroutine in the serial
+	// order (the stage-parallel engine merges departures before recording),
+	// so the histograms are bit-identical across engines.
+	delays *obs.DelaySet
+	// lastDepart remembers, per output port, the slot of the previous PPS
+	// departure, so consecutive departures yield inter-departure gaps.
+	lastDepart []cell.Time
+
 	matched  uint64
 	maxRQD   cell.Time
 	maxRQDok bool
@@ -105,6 +118,7 @@ func NewRecorder() *Recorder {
 	return &Recorder{
 		flowPPS: make(map[cell.Flow]*minmax),
 		flowSh:  make(map[cell.Flow]*minmax),
+		delays:  obs.NewDelaySet(),
 	}
 }
 
@@ -171,7 +185,17 @@ func (r *Recorder) PPSDepart(c cell.Cell) {
 		r.inputWait.add(int64(c.Dispatch - c.Arrive))
 		r.planeWait.add(int64(c.AtOutput - c.Dispatch))
 		r.outputWait.add(int64(c.Depart - c.AtOutput))
+		r.delays.Demux.Record(int64(c.Dispatch - c.Arrive))
+		r.delays.Plane.Record(int64(c.AtOutput - c.Dispatch))
+		r.delays.Reseq.Record(int64(c.Depart - c.AtOutput))
 	}
+	r.delays.Total.Record(int64(c.Depart - c.Arrive))
+	out := uint64(c.Flow.Out)
+	r.lastDepart = grow(r.lastDepart, out)
+	if last := r.lastDepart[out]; last != cell.None {
+		r.delays.Gap.Record(int64(c.Depart - last))
+	}
+	r.lastDepart[out] = c.Depart
 	r.tryMatch(c.Seq)
 }
 
@@ -208,6 +232,7 @@ func (r *Recorder) tryMatch(seq uint64) {
 	}
 	d := pd - sd
 	r.rqd.Add(int64(d))
+	r.delays.RQD.Record(int64(d))
 	if !r.maxRQDok || d > r.maxRQD {
 		r.maxRQD, r.maxRQDok = d, true
 	}
@@ -216,6 +241,11 @@ func (r *Recorder) tryMatch(seq uint64) {
 
 // Matched reports how many cells have departed both switches.
 func (r *Recorder) Matched() uint64 { return r.matched }
+
+// Delays exposes the live delay-attribution histograms. The harness flushes
+// them into the telemetry aggregator mid-run; they must only be read from
+// the goroutine feeding the recorder.
+func (r *Recorder) Delays() *obs.DelaySet { return r.delays }
 
 // RQD returns the relative queuing delay of cell seq; ok is false until
 // both switches have reported its departure. The per-slot front-RQD probe
@@ -239,8 +269,11 @@ type Report struct {
 	MaxRQD cell.Time
 	// MeanRQD is the mean per-cell relative queuing delay.
 	MeanRQD float64
-	// P99RQD is the 99th percentile per-cell relative queuing delay.
-	P99RQD cell.Time
+	// P50RQD, P99RQD and P999RQD are exact nearest-rank percentiles of the
+	// per-cell relative queuing delay, from the retained sample set.
+	P50RQD  cell.Time
+	P99RQD  cell.Time
+	P999RQD cell.Time
 	// MaxPPSDelay is the largest absolute queuing delay in the PPS.
 	MaxPPSDelay cell.Time
 	// MaxShadowDelay is the largest absolute queuing delay in the shadow.
@@ -269,6 +302,12 @@ type Report struct {
 	Drops         uint64
 	DropsPerPlane []uint64
 	DropsPerInput []uint64
+	// Percentiles is the streaming-histogram percentile block: headline
+	// quantiles of the per-cell RQD, the three-stage delay decomposition
+	// (demux wait + plane queuing + resequencing wait; the components sum to
+	// Total per cell), and the per-output inter-departure gap. Mean, Min and
+	// Max are exact; P50/P99/P999 carry at most one log-bucket of error.
+	Percentiles obs.DelayQuantiles
 }
 
 // Report computes the execution summary. It panics unless every cell is
@@ -283,7 +322,10 @@ func (r *Recorder) Report() Report {
 		Cells:          r.matched,
 		MaxRQD:         r.maxRQD,
 		MeanRQD:        r.rqd.Mean(),
+		P50RQD:         cell.Time(r.rqd.Percentile(50)),
 		P99RQD:         cell.Time(r.rqd.Percentile(99)),
+		P999RQD:        cell.Time(r.rqd.Percentile(99.9)),
+		Percentiles:    r.delays.Quantiles(),
 		Flows:          len(r.flowPPS),
 		MeanInputWait:  r.inputWait.mean(),
 		MeanPlaneWait:  r.planeWait.mean(),
@@ -315,6 +357,27 @@ func (r *Recorder) Report() Report {
 		}
 	}
 	return rep
+}
+
+// PercentileTable renders the delay-attribution percentile block as an
+// aligned table, one row per component — the format behind the -percentiles
+// flag of ppssim/ppsdiag and the congestion example.
+func (rep Report) PercentileTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %8s %8s %8s %8s\n",
+		"component", "n", "mean", "min", "p50", "p99", "p999", "max")
+	row := func(name string, q obs.Quantiles) {
+		fmt.Fprintf(&b, "%-12s %10d %10.2f %8d %8d %8d %8d %8d\n",
+			name, q.N, q.Mean, q.Min, q.P50, q.P99, q.P999, q.Max)
+	}
+	p := rep.Percentiles
+	row("rqd", p.RQD)
+	row("demux", p.Demux)
+	row("plane", p.Plane)
+	row("reseq", p.Reseq)
+	row("total", p.Total)
+	row("interdep", p.Gap)
+	return b.String()
 }
 
 // String renders the headline numbers.

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 
@@ -139,6 +140,19 @@ func (t *Tracer) Events() uint64 {
 	return t.n
 }
 
+// Close closes the sink if it implements io.Closer (the buffered JSONL sink
+// flushes here) and reports its error. Safe on a nil tracer; sinks without
+// a Close are a no-op.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	if c, ok := t.sink.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // RingSink keeps the last capacity events in memory — the sink for tests
 // and post-mortem inspection of bounded windows.
 type RingSink struct {
@@ -190,17 +204,21 @@ type jsonEvent struct {
 	Note  string `json:"note,omitempty"`
 }
 
-// JSONLSink writes one JSON object per event, newline-delimited. The first
-// write error latches and suppresses further writes; check Err after the
+// JSONLSink writes one JSON object per event, newline-delimited, through an
+// internal buffer — call Close (or Flush) after the run to push the tail of
+// the buffer to the underlying writer. The first write error latches and
+// suppresses further writes; check Err (also returned by Close) after the
 // run.
 type JSONLSink struct {
+	bw  *bufio.Writer
 	enc *json.Encoder
 	err error
 }
 
 // NewJSONLSink returns a sink writing to w.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
 }
 
 // Emit implements Sink.
@@ -218,6 +236,20 @@ func (s *JSONLSink) Emit(ev Event) {
 		Note:  ev.Note,
 	})
 }
+
+// Flush pushes buffered events to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Close implements io.Closer by flushing; the underlying writer is the
+// caller's to close. Tracer.Close forwards here, so CLI flows that wrap a
+// file in a JSONL tracer lose no buffered tail.
+func (s *JSONLSink) Close() error { return s.Flush() }
 
 // Err reports the first write error, if any.
 func (s *JSONLSink) Err() error { return s.err }

@@ -336,7 +336,11 @@ func (p *InputDepthProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
 // frozen across an idle span, so the first recorded point flushes the window
 // since the previous sample and every later point in the span records a zero
 // rate — replayed per-slot only until that first recorded point (at most one
-// stride), then in closed form.
+// stride), then in closed form. A span too short to reach an aligned slot
+// records nothing and leaves the window unconsumed (last advances only on a
+// recorded point), so the next real sample still flushes the full window.
+// TestMuxPullProbeIdleSpanMatchesPerSlot pins both halves of this contract
+// against a per-slot twin.
 func (p *MuxPullProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
 	var cum int64
 	for j := 0; j < v.Ports(); j++ {

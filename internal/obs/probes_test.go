@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"reflect"
 	"testing"
 
 	"ppsim/internal/cell"
@@ -163,5 +164,68 @@ func TestInFlightProbe(t *testing.T) {
 	}
 	if got := p.Series()[1].Points()[0].Value; got != 4 {
 		t.Errorf("shadow_in_flight = %g, want 4", got)
+	}
+}
+
+// TestMuxPullProbeIdleSpanMatchesPerSlot is the regression guard for the
+// probe's hybrid idle-span contract: the span replays per-slot until the
+// first recorded point (which flushes the pull window accumulated since the
+// previous sample), then switches to the closed-form zero-rate span. The
+// twin probe is driven per-slot over the identical schedule; the rings must
+// match exactly.
+func TestMuxPullProbeIdleSpanMatchesPerSlot(t *testing.T) {
+	const stride = 4
+	p := NewMuxPullProbe(stride, 16)
+	twin := NewMuxPullProbe(stride, 16)
+	v := newFakeView(2, 1)
+
+	drive := func(slot cell.Time, cum int64) {
+		v.slot, v.pulls = slot, []int64{cum, 0}
+		p.Sample(v)
+		twin.Sample(v)
+	}
+	idle := func(from, to cell.Time, cum int64) {
+		v.pulls = []int64{cum, 0}
+		p.SampleIdleSpan(v, from, to)
+		for t := from; t < to; t++ {
+			v.slot = t
+			twin.Sample(v)
+		}
+	}
+
+	// Active slots 0..2 accumulate pulls; only slot 0 is stride-aligned.
+	drive(0, 0)
+	drive(1, 3)
+	drive(2, 5)
+	// Idle span starting before the first recorded point of the window:
+	// slot 3 is unaligned (replayed, records nothing), slot 4 records the
+	// flush of the 5 pulls since slot 0, slots 5..14 are the zero-rate tail
+	// (recording at 8 and 12).
+	idle(3, 15, 5)
+	// A short span with no aligned slot must record nothing and must NOT
+	// consume the window: pulls resume and the next aligned sample covers
+	// everything since the last recorded point.
+	drive(16, 9)
+	idle(17, 19, 9)
+	drive(20, 14)
+
+	got, want := p.Series()[0].Points(), twin.Series()[0].Points()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("span and per-slot rings diverge:\nspan: %+v\ntwin: %+v", got, want)
+	}
+	// Pin the absolute schedule too, so a twin-side bug cannot mask one in
+	// the span path: flush of 5 at slot 4, zeros across the idle tail, 4+5
+	// pulls flushed at slot 20.
+	wantAbs := []struct {
+		slot cell.Time
+		val  float64
+	}{{0, 0}, {4, 5}, {8, 0}, {12, 0}, {16, 4}, {20, 5}}
+	if len(got) != len(wantAbs) {
+		t.Fatalf("got %d points, want %d: %+v", len(got), len(wantAbs), got)
+	}
+	for i, w := range wantAbs {
+		if got[i].Slot != w.slot || got[i].Value != w.val {
+			t.Errorf("pts[%d] = %+v, want slot %d value %g", i, got[i], w.slot, w.val)
+		}
 	}
 }

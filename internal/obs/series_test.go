@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -192,5 +193,53 @@ func TestWriteSeriesJSON(t *testing.T) {
 	if len(out) != 1 || out[0].Series != "a" || len(out[0].Points) != 2 ||
 		out[0].Points[1] != [2]float64{1, 4} {
 		t.Errorf("JSON round-trip = %+v", out)
+	}
+}
+
+// TestObserveSpanCapBoundaries pins the closed-form span path exactly at the
+// ring capacity and one past it — the append-to-overwrite transition inside
+// a single ObserveSpan call — by comparing the full ring state against a
+// per-slot twin driven with Observe over the same span.
+func TestObserveSpanCapBoundaries(t *testing.T) {
+	const capacity = 8
+	for _, tc := range []struct {
+		name   string
+		stride cell.Time
+		warm   int       // per-slot observations before the span
+		from   cell.Time // span start (may be unaligned)
+		to     cell.Time
+	}{
+		{"exactly-cap", 1, 0, 0, capacity},
+		{"cap-plus-one", 1, 0, 0, capacity + 1},
+		{"warm-then-exactly-cap", 1, 3, 3, capacity},
+		{"warm-then-cap-plus-one", 1, 3, 3, capacity + 1},
+		{"strided-exactly-cap", 4, 0, 1, 4*capacity - 2},
+		{"strided-cap-plus-one", 4, 0, 1, 4*capacity + 2},
+		{"double-wrap", 1, 0, 0, 3 * capacity},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			span := NewSeries("x", tc.stride, capacity)
+			twin := NewSeries("x", tc.stride, capacity)
+			for slot := cell.Time(0); slot < cell.Time(tc.warm); slot++ {
+				span.Observe(slot, float64(slot))
+				twin.Observe(slot, float64(slot))
+			}
+			span.ObserveSpan(tc.from, tc.to, 7)
+			for slot := tc.from; slot < tc.to; slot++ {
+				twin.Observe(slot, 7)
+			}
+			if !reflect.DeepEqual(span.Points(), twin.Points()) {
+				t.Errorf("points diverge:\nspan: %+v\ntwin: %+v", span.Points(), twin.Points())
+			}
+			if span.Len() != twin.Len() || span.Dropped() != twin.Dropped() {
+				t.Errorf("len/dropped = %d/%d, want %d/%d",
+					span.Len(), span.Dropped(), twin.Len(), twin.Dropped())
+			}
+			sl, sok := span.Last()
+			tl, tok := twin.Last()
+			if sok != tok || sl != tl {
+				t.Errorf("Last = %+v/%v, want %+v/%v", sl, sok, tl, tok)
+			}
+		})
 	}
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Telemetry aggregates live run state for external observers (ppsexp's
+// /telemetry endpoint). The harness ticks the per-slot gauges with atomic
+// stores — the steady-state slot path stays lock- and allocation-free — and
+// folds its delay histograms into the cross-run totals only at a coarse
+// flush cadence (every telemetry flush stride slots and at run end), under a
+// mutex. Snapshot may be called concurrently from any goroutine mid-run.
+//
+// A nil *Telemetry is valid and inert, so the harness threads it without
+// nil checks at every site.
+type Telemetry struct {
+	runsStarted  atomic.Int64
+	runsFinished atomic.Int64
+	slot         atomic.Int64
+	inFlight     atomic.Int64
+	matched      atomic.Int64
+	dropped      atomic.Int64
+
+	mu     sync.Mutex
+	totals *DelaySet
+}
+
+// NewTelemetry returns an empty telemetry aggregator.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{totals: NewDelaySet()}
+}
+
+// RunStarted marks one run as live. Safe on nil.
+func (t *Telemetry) RunStarted() {
+	if t == nil {
+		return
+	}
+	t.runsStarted.Add(1)
+}
+
+// RunFinished marks one run as done. Safe on nil.
+func (t *Telemetry) RunFinished() {
+	if t == nil {
+		return
+	}
+	t.runsFinished.Add(1)
+}
+
+// Tick publishes the per-slot gauges: the slot just executed, the cells in
+// flight inside the PPS, and the cumulative matched/dropped cell counts.
+// Concurrent runs overwrite each other (last writer wins) — the gauges are a
+// liveness signal, not an aggregate. Safe on nil; never allocates.
+func (t *Telemetry) Tick(slot int64, inFlight int, matched, dropped uint64) {
+	if t == nil {
+		return
+	}
+	t.slot.Store(slot)
+	t.inFlight.Store(int64(inFlight))
+	t.matched.Store(int64(matched))
+	t.dropped.Store(int64(dropped))
+}
+
+// ObserveDelays folds the growth of a run's delay histograms since the
+// previous flush into the cross-run totals, then advances prev to cur
+// (prev must be owned by the calling run and start empty). Incremental
+// delta-merging keeps repeated flushes of the same run from double counting.
+// Safe on nil.
+func (t *Telemetry) ObserveDelays(cur, prev *DelaySet) {
+	if t == nil || cur == nil || prev == nil {
+		return
+	}
+	t.mu.Lock()
+	t.totals.MergeDelta(cur, prev)
+	t.mu.Unlock()
+	prev.CopyFrom(cur)
+}
+
+// TelemetrySnapshot is the frozen live state served as JSON by ppsexp's
+// /telemetry endpoint. Field order is the stable wire schema.
+type TelemetrySnapshot struct {
+	// RunsStarted / RunsFinished count harness runs observed; Active is
+	// their difference.
+	RunsStarted  int64 `json:"runs_started"`
+	RunsFinished int64 `json:"runs_finished"`
+	Active       int64 `json:"runs_active"`
+	// Slot, InFlight, Matched and Dropped are the most recent per-slot
+	// gauges (last writer wins under concurrent runs).
+	Slot     int64 `json:"slot"`
+	InFlight int64 `json:"in_flight"`
+	Matched  int64 `json:"cells_matched"`
+	Dropped  int64 `json:"cells_dropped"`
+	// Delay is the cross-run delay-attribution percentile block, current to
+	// the last histogram flush (at most one flush stride behind the run).
+	Delay DelayQuantiles `json:"delay"`
+}
+
+// Snapshot freezes the telemetry. Safe for concurrent use; returns the zero
+// snapshot on nil.
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	if t == nil {
+		return TelemetrySnapshot{}
+	}
+	snap := TelemetrySnapshot{
+		RunsStarted:  t.runsStarted.Load(),
+		RunsFinished: t.runsFinished.Load(),
+		Slot:         t.slot.Load(),
+		InFlight:     t.inFlight.Load(),
+		Matched:      t.matched.Load(),
+		Dropped:      t.dropped.Load(),
+	}
+	snap.Active = snap.RunsStarted - snap.RunsFinished
+	t.mu.Lock()
+	snap.Delay = t.totals.Quantiles()
+	t.mu.Unlock()
+	return snap
+}
+
+// WriteJSON writes the current snapshot as one JSON object.
+func (t *Telemetry) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t.Snapshot())
+}
+
+// globalTelemetry is the process-wide default aggregator, following the
+// expvar/pprof precedent: commands whose inner layers cannot thread an
+// Options value (ppsexp's experiment suite) register one here, and the
+// harness falls back to it when Options.Telemetry is nil.
+var globalTelemetry atomic.Pointer[Telemetry]
+
+// SetGlobalTelemetry installs t as the process-wide default aggregator
+// (nil uninstalls).
+func SetGlobalTelemetry(t *Telemetry) { globalTelemetry.Store(t) }
+
+// GlobalTelemetry returns the process-wide aggregator, or nil.
+func GlobalTelemetry() *Telemetry { return globalTelemetry.Load() }

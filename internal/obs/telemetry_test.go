@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.RunStarted()
+	tel.Tick(5, 1, 2, 0)
+	tel.ObserveDelays(NewDelaySet(), NewDelaySet())
+	tel.RunFinished()
+	if snap := tel.Snapshot(); snap != (TelemetrySnapshot{}) {
+		t.Fatalf("nil telemetry snapshot not zero: %+v", snap)
+	}
+}
+
+func TestTelemetryFlushNoDoubleCount(t *testing.T) {
+	tel := NewTelemetry()
+	cur, prev := NewDelaySet(), NewDelaySet()
+	tel.RunStarted()
+	for i := int64(0); i < 100; i++ {
+		cur.RQD.Record(i % 10)
+		if i%25 == 0 {
+			tel.ObserveDelays(cur, prev)
+		}
+	}
+	tel.ObserveDelays(cur, prev)
+	tel.ObserveDelays(cur, prev) // idempotent once prev caught up
+	tel.Tick(99, 0, 100, 0)
+	tel.RunFinished()
+	snap := tel.Snapshot()
+	if snap.Delay.RQD.N != 100 {
+		t.Fatalf("flushed RQD count = %d, want 100 (no double counting)", snap.Delay.RQD.N)
+	}
+	if snap.RunsStarted != 1 || snap.RunsFinished != 1 || snap.Active != 0 {
+		t.Fatalf("run accounting wrong: %+v", snap)
+	}
+	if snap.Slot != 99 || snap.Matched != 100 {
+		t.Fatalf("gauges wrong: %+v", snap)
+	}
+}
+
+func TestTelemetryWriteJSONSchema(t *testing.T) {
+	tel := NewTelemetry()
+	cur, prev := NewDelaySet(), NewDelaySet()
+	cur.RQD.Record(3)
+	cur.Demux.Record(1)
+	tel.ObserveDelays(cur, prev)
+	tel.Tick(7, 2, 1, 0)
+	var buf bytes.Buffer
+	if err := tel.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"runs_started", "slot", "cells_matched", "delay"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("snapshot JSON missing %q: %s", key, buf.String())
+		}
+	}
+	if !strings.Contains(buf.String(), `"rqd"`) || !strings.Contains(buf.String(), `"demux_wait"`) {
+		t.Fatalf("delay block missing components: %s", buf.String())
+	}
+}
+
+// TestTelemetryConcurrentSnapshot exercises mid-run snapshots against
+// concurrent ticks and flushes (meaningful under -race).
+func TestTelemetryConcurrentSnapshot(t *testing.T) {
+	tel := NewTelemetry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cur, prev := NewDelaySet(), NewDelaySet()
+		for i := int64(0); i < 2000; i++ {
+			cur.RQD.Record(i % 64)
+			tel.Tick(i, 1, uint64(i), 0)
+			if i%128 == 0 {
+				tel.ObserveDelays(cur, prev)
+			}
+		}
+		tel.ObserveDelays(cur, prev)
+		close(stop)
+	}()
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			if got := tel.Snapshot().Delay.RQD.N; got != 2000 {
+				t.Fatalf("final RQD count = %d, want 2000", got)
+			}
+			return
+		default:
+			_ = tel.Snapshot()
+		}
+	}
+}
+
+func TestGlobalTelemetry(t *testing.T) {
+	if GlobalTelemetry() != nil {
+		t.Fatal("global telemetry not nil at start")
+	}
+	tel := NewTelemetry()
+	SetGlobalTelemetry(tel)
+	if GlobalTelemetry() != tel {
+		t.Fatal("global telemetry not installed")
+	}
+	SetGlobalTelemetry(nil)
+	if GlobalTelemetry() != nil {
+		t.Fatal("global telemetry not uninstalled")
+	}
+}

@@ -78,8 +78,8 @@ func TestJSONLSinkSchema(t *testing.T) {
 	tr := NewTracer(sink)
 	tr.Emit(Event{T: 7, Kind: EvDispatch, Seq: 42, In: 3, Out: 5, Plane: 1})
 	tr.Emit(Event{T: 8, Kind: EvViolation, Plane: cell.NoPlane, Note: "boom"})
-	if sink.Err() != nil {
-		t.Fatal(sink.Err())
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
 	if len(lines) != 2 {
@@ -126,10 +126,50 @@ func TestJSONLSinkLatchesError(t *testing.T) {
 	sink := NewJSONLSink(fw)
 	sink.Emit(Event{})
 	sink.Emit(Event{})
+	// The buffer absorbs small events, so the error surfaces at flush time.
+	if err := sink.Close(); err == nil {
+		t.Fatal("expected flush error")
+	}
 	if sink.Err() == nil {
 		t.Fatal("expected latched error")
 	}
-	if fw.n != 1 {
-		t.Errorf("writer called %d times, want 1 (error must latch)", fw.n)
+	calls := fw.n
+	sink.Emit(Event{})
+	if err := sink.Close(); err == nil {
+		t.Fatal("latched error must keep reporting")
+	}
+	if fw.n != calls {
+		t.Errorf("writer called %d more times after latch, want 0", fw.n-calls)
+	}
+}
+
+// TestJSONLSinkFlushOnClose pins the buffering contract the CLI trace flows
+// rely on: a small event sits in the sink's buffer (invisible to the
+// underlying writer) until Close, which flushes it; Tracer.Close forwards to
+// the sink's Close, and both are idempotent.
+func TestJSONLSinkFlushOnClose(t *testing.T) {
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	tr := NewTracer(sink)
+	tr.Emit(Event{T: 3, Kind: EvDepart, Seq: 9, In: 1, Out: 2, Plane: 0})
+	if sb.Len() != 0 {
+		t.Fatalf("event reached the writer before Close: %q", sb.String())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]interface{}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &got); err != nil {
+		t.Fatalf("flushed line not JSON: %v (%q)", err, sb.String())
+	}
+	if got["kind"] != "depart" || got["seq"] != 9.0 {
+		t.Errorf("flushed line = %v", got)
+	}
+	n := sb.Len()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != n {
+		t.Error("second Close must not write again")
 	}
 }

@@ -83,22 +83,33 @@ func (s *Summary) Stddev() float64 {
 // Percentile returns the p-th percentile (0 <= p <= 100) using the
 // nearest-rank method, or 0 when empty.
 func (s *Summary) Percentile(p float64) int64 {
-	n := len(s.samples)
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return Percentile(s.samples, p)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the ascending
+// sorted samples by the nearest-rank method, or 0 when empty. This is the
+// one percentile implementation in the repo; Summary and every ad-hoc
+// sample-slice caller delegate here so the convention cannot drift.
+func Percentile(sorted []int64, p float64) int64 {
+	n := len(sorted)
 	if n == 0 {
 		return 0
 	}
 	if p <= 0 {
-		return s.Min()
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s.Max()
+		return sorted[n-1]
 	}
-	s.ensureSorted()
 	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	return s.samples[rank-1]
+	return sorted[rank-1]
 }
 
 func (s *Summary) ensureSorted() {
@@ -109,10 +120,18 @@ func (s *Summary) ensureSorted() {
 	s.sorted = true
 }
 
+// FormatLine renders the shared one-line distribution summary
+// "<countLabel>=N min=... mean=... p50=... p99=... max=...". Summary.String
+// and ppsim.Distribution.String both delegate here so the format stays
+// identical everywhere it appears.
+func FormatLine(countLabel string, n int, min int64, mean float64, p50, p99, max int64) string {
+	return fmt.Sprintf("%s=%d min=%d mean=%.2f p50=%d p99=%d max=%d",
+		countLabel, n, min, mean, p50, p99, max)
+}
+
 // String renders "n=... min=... mean=... p99=... max=...".
 func (s *Summary) String() string {
-	return fmt.Sprintf("n=%d min=%d mean=%.2f p50=%d p99=%d max=%d",
-		s.N(), s.Min(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+	return FormatLine("n", s.N(), s.Min(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
 }
 
 // Histogram counts samples into fixed-width buckets starting at zero.

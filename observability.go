@@ -30,6 +30,20 @@ type (
 	// MetricsRegistry names and owns counters, gauges and histograms;
 	// plug one into Options.Metrics for cumulative run telemetry.
 	MetricsRegistry = obs.Registry
+	// Telemetry aggregates live run state (per-slot gauges plus streaming
+	// delay histograms); plug one into Options.Telemetry, or install it
+	// process-wide with SetGlobalTelemetry, and snapshot it mid-run.
+	Telemetry = obs.Telemetry
+	// TelemetrySnapshot is the frozen live state (the /telemetry JSON
+	// schema of ppsexp).
+	TelemetrySnapshot = obs.TelemetrySnapshot
+	// Quantiles is the headline summary of one streaming delay histogram:
+	// exact n/mean/min/max plus log-bucketed p50/p99/p999.
+	Quantiles = obs.Quantiles
+	// DelayQuantiles is the per-component percentile block carried by
+	// Report.Percentiles and telemetry snapshots: RQD, the demux/plane/
+	// resequencer decomposition, total delay, and inter-departure gap.
+	DelayQuantiles = obs.DelayQuantiles
 )
 
 // StandardProbes returns the full probe set for an N-port, K-plane switch:
@@ -55,6 +69,16 @@ func NewRingTracer(capacity int) (*Tracer, *RingSink) {
 
 // NewMetricsRegistry returns an empty, concurrency-safe metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTelemetry returns an empty live-telemetry aggregator.
+func NewTelemetry() *Telemetry { return obs.NewTelemetry() }
+
+// SetGlobalTelemetry installs t as the process-wide default aggregator
+// (nil uninstalls): runs whose Options.Telemetry is nil report into it.
+func SetGlobalTelemetry(t *Telemetry) { obs.SetGlobalTelemetry(t) }
+
+// GlobalTelemetry returns the process-wide aggregator, or nil.
+func GlobalTelemetry() *Telemetry { return obs.GlobalTelemetry() }
 
 // WriteSeriesCSV streams series in long format ("series,slot,value").
 func WriteSeriesCSV(w io.Writer, series []*Series) error {

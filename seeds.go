@@ -16,10 +16,10 @@ type Distribution struct {
 	Max  Time
 }
 
-// String renders the distribution on one line.
+// String renders the distribution on one line, in the shared summary format
+// (stats.FormatLine) with "runs" as the count label.
 func (d Distribution) String() string {
-	return fmt.Sprintf("runs=%d min=%d mean=%.2f p50=%d p99=%d max=%d",
-		d.Runs, d.Min, d.Mean, d.P50, d.P99, d.Max)
+	return stats.FormatLine("runs", d.Runs, int64(d.Min), d.Mean, int64(d.P50), int64(d.P99), int64(d.Max))
 }
 
 // RunSeeds executes the same configuration over seeds 0..runs-1, with a
