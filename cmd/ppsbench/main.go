@@ -60,10 +60,16 @@ type benchResult struct {
 	// Drops counts cells lost to injected plane faults (DropCount policy);
 	// absent in fault-free runs.
 	Drops uint64 `json:"drops,omitempty"`
-	// SlotsElided counts the slots the quiescence fast-forward jumped over
-	// (-fastforward); absent for stepped runs, so older files read (and
-	// diff) unchanged.
+	// SlotsElided counts the slots the quiescence fast-forward or the
+	// event-driven core jumped over; absent for stepped runs, so older files
+	// read (and diff) unchanged.
 	SlotsElided uint64 `json:"slots_elided,omitempty"`
+	// Engine records which slot-execution core actually ran this case
+	// ("stepped", "fastforward", "event"); EngineReason is non-empty when a
+	// requested core degraded and says why. Both absent in files written
+	// before the fields existed (those runs were stepped).
+	Engine       string `json:"engine,omitempty"`
+	EngineReason string `json:"engine_reason,omitempty"`
 	// Percentiles is the per-component delay decomposition tail block
 	// (hist-derived nearest-rank quantiles: rqd, demux_wait, plane_wait,
 	// reseq_wait, total_delay, interdeparture_gap). Pointer + omitempty
@@ -96,8 +102,11 @@ type benchFile struct {
 	FaultPolicy string `json:"fault_policy,omitempty"`
 	// FastForward echoes the -fastforward flag; absent (false) in stepped
 	// baselines, keeping the schema backward-readable.
-	FastForward bool          `json:"fastforward,omitempty"`
-	Results     []benchResult `json:"results"`
+	FastForward bool `json:"fastforward,omitempty"`
+	// Engine echoes the -engine request ("auto" omitted as the default);
+	// the per-case Engine field records what each run actually used.
+	Engine  string        `json:"engine,omitempty"`
+	Results []benchResult `json:"results"`
 }
 
 // suite returns the fixed benchmark matrix. horizon scales every case; the
@@ -138,7 +147,11 @@ func suite(horizon int64) []benchCase {
 	// globally silent, so -fastforward elides them while the stepped engine
 	// still pays O(N) per slot. Full horizon even at large N — long idle
 	// stretches are exactly the workload being priced.
-	for _, n := range []int{128, 1024} {
+	// The N=16384 and N=65536 points price the event-driven core's O(events)
+	// claim: per-slot cost must stay flat in N when the working sets (two
+	// flows) do not grow with it. The stepped engine still pays O(N) per
+	// slot here, which is exactly the gap the committed baselines document.
+	for _, n := range []int{128, 1024, 16384, 65536} {
 		cases = append(cases, benchCase{
 			Name:    fmt.Sprintf("bursty-low/n%d/k8", n),
 			Traffic: "bursty-low",
@@ -149,6 +162,20 @@ func suite(horizon int64) []benchCase {
 			Seed:    1,
 		})
 	}
+	// The long-horizon case (1M slots at the default -slots 20000) is the
+	// headline event-core scenario: a mostly-idle switch simulated for a
+	// million slots in milliseconds because cost scales with events, not
+	// slots. The quick suite keeps the same 50x multiplier over its shrunken
+	// horizon (100k slots).
+	cases = append(cases, benchCase{
+		Name:    "bursty-low-1m/n1024/k8",
+		Traffic: "bursty-low",
+		N:       1024,
+		K:       8,
+		RPrime:  2,
+		Slots:   50 * horizon,
+		Seed:    1,
+	})
 	return cases
 }
 
@@ -186,7 +213,7 @@ func buildSource(c benchCase) (ppsim.Source, error) {
 // non-nil schedule injects the same faults into every case (planes beyond a
 // small case's K are skipped by construction: the caller validates against
 // the smallest K in the suite).
-func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.FaultPolicy, fastforward bool) (benchResult, error) {
+func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.FaultPolicy, eng ppsim.Engine, fastforward bool) (benchResult, error) {
 	src, err := buildSource(c)
 	if err != nil {
 		return benchResult{}, err
@@ -196,12 +223,9 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 		DisableChecks: true,
 		Algorithm:     ppsim.Algorithm{Name: "rr", Seed: c.Seed},
 	}
-	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8, Workers: workers, Faults: sched, FaultPolicy: policy}
+	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8, Workers: workers, Faults: sched, FaultPolicy: policy, Engine: eng, FastForward: fastforward}
 	var elided uint64
-	if fastforward {
-		opts.FastForward = true
-		opts.OnFastForward = func(from, to ppsim.Time) { elided += uint64(to - from) }
-	}
+	opts.OnFastForward = func(from, to ppsim.Time) { elided += uint64(to - from) }
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -224,6 +248,8 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 		WorkersResolved: ppsim.ResolveWorkers(workers, c.N),
 		Drops:           res.Drops,
 		SlotsElided:     elided,
+		Engine:          res.Engine,
+		EngineReason:    res.EngineReason,
 	}
 	if wall > 0 {
 		out.SlotsPerSec = float64(slots) / wall.Seconds()
@@ -272,13 +298,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
 		faultSpec = flag.String("faults", "", "fault schedule injected into every case, e.g. fail:0@1000,recover:0@3000")
 		faultPol  = flag.String("fault-policy", "abort", "degradation policy: abort or dropcount")
+		engineStr = flag.String("engine", "auto", "slot-execution core: auto, stepped, fastforward, event")
 		fastfwd   = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; records slots_elided)")
 		baseline  = flag.String("compare", "", "print a markdown delta table against this BENCH_<rev>.json baseline")
-		gate      = flag.Float64("gate", 10, "with -compare: flag cases whose slots/sec drop or whose p99 rqd grows by more than this percent (0 disables)")
+		gate      = flag.Float64("gate", 10, "with -compare: flag cases whose slots/sec drop or whose p99/p999 rqd grows by more than this percent (0 disables)")
 		strict    = flag.Bool("gate-strict", false, "with -compare: exit 1 when any case trips the -gate threshold (default: warn only)")
 	)
 	flag.Parse()
 
+	eng, err := ppsim.ParseEngine(*engineStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(2)
+	}
 	schedule, err := ppsim.ParseFaultSpec(*faultSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppsbench:", err)
@@ -323,6 +355,9 @@ func main() {
 		Workers:     *workers,
 		FastForward: *fastfwd,
 	}
+	if eng != ppsim.EngineAuto {
+		report.Engine = eng.String()
+	}
 	if sched != nil {
 		report.Faults = sched.String()
 		report.FaultPolicy = policy.String()
@@ -331,7 +366,7 @@ func main() {
 		if *filter != "" && !strings.Contains(c.Name, *filter) {
 			continue
 		}
-		res, err := run(c, *workers, sched, policy, *fastfwd)
+		res, err := run(c, *workers, sched, policy, eng, *fastfwd)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsbench:", err)
 			os.Exit(1)
@@ -387,10 +422,11 @@ func main() {
 }
 
 // printDelta renders a dependency-free benchstat substitute: a markdown
-// table of per-case slots/sec and tail (p99 rqd) deltas against a committed
-// baseline file. The CI bench-compare job pipes it into the job summary.
-// Cases whose slots/sec drop, or whose p99 relative queuing delay grows,
-// by more than gatePct percent are marked ⚠ and counted in the return value
+// table of per-case slots/sec and tail (p99 and p999 rqd) deltas against a
+// committed baseline file. The CI bench-compare job pipes it into the job
+// summary. Cases whose slots/sec drop, or whose p99 or p999 relative queuing
+// delay grows, by more than gatePct percent are marked ⚠ and counted in the
+// return value
 // (gatePct <= 0 disables marking); the caller decides whether a non-zero
 // count is fatal. Only an unreadable baseline is an error.
 func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64) (int, error) {
@@ -407,9 +443,10 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64
 		byName[r.Name] = r
 	}
 	fmt.Fprintf(w, "\n### ppsbench: %s vs baseline %s\n\n", cur.Rev, base.Rev)
-	if base.Quick != cur.Quick || base.Workers != cur.Workers || base.FastForward != cur.FastForward {
-		fmt.Fprintf(w, "> note: configurations differ (quick %v/%v, workers %d/%d, fastforward %v/%v) — deltas are indicative only\n\n",
-			base.Quick, cur.Quick, base.Workers, cur.Workers, base.FastForward, cur.FastForward)
+	if base.Quick != cur.Quick || base.Workers != cur.Workers || base.FastForward != cur.FastForward || base.Engine != cur.Engine {
+		fmt.Fprintf(w, "> note: configurations differ (quick %v/%v, workers %d/%d, fastforward %v/%v, engine %s/%s) — deltas are indicative only\n\n",
+			base.Quick, cur.Quick, base.Workers, cur.Workers, base.FastForward, cur.FastForward,
+			engineLabel(base.Engine), engineLabel(cur.Engine))
 	}
 	flagged := 0
 	fmt.Fprintln(w, "| case | baseline slots/s | new slots/s | delta | allocs/slot (base → new) | p99 rqd (base → new) | p999 rqd (base → new) |")
@@ -423,9 +460,12 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64
 		}
 		delta := (r.SlotsPerSec/b.SlotsPerSec - 1) * 100
 		trip := gatePct > 0 && delta < -gatePct
+		// Gate both rendered tail columns: a regression that shows only at
+		// p999 (the rarest 0.1% of cells) must flag exactly like one at p99.
 		if gatePct > 0 && b.Percentiles != nil && r.Percentiles != nil &&
 			b.Percentiles.RQD.N > 0 && r.Percentiles.RQD.N > 0 &&
-			tailRegressed(b.Percentiles.RQD.P99, r.Percentiles.RQD.P99, gatePct) {
+			(tailRegressed(b.Percentiles.RQD.P99, r.Percentiles.RQD.P99, gatePct) ||
+				tailRegressed(b.Percentiles.RQD.P999, r.Percentiles.RQD.P999, gatePct)) {
 			trip = true
 		}
 		mark := ""
@@ -441,6 +481,15 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64
 	return flagged, nil
 }
 
+// engineLabel renders a benchFile's Engine field for the config-mismatch
+// note; the empty value (older files, auto runs) reads as "auto".
+func engineLabel(s string) string {
+	if s == "" {
+		return "auto"
+	}
+	return s
+}
+
 // tailCell formats one rqd quantile for the delta table, or an em dash when
 // the side carries no percentile block (pre-schema baselines, empty runs).
 func tailCell(q *ppsim.DelayQuantiles, p float64) string {
@@ -453,10 +502,11 @@ func tailCell(q *ppsim.DelayQuantiles, p float64) string {
 	return fmt.Sprintf("%d", q.RQD.P99)
 }
 
-// tailRegressed reports whether the new p99 rqd regressed past the gate:
-// more than pct percent above a positive baseline, or more than one slot
-// above a zero/negative baseline (a percent of a non-positive tail is
-// meaningless, and one slot of growth there is quantization noise).
+// tailRegressed reports whether a new rqd tail quantile (p99 or p999)
+// regressed past the gate: more than pct percent above a positive baseline,
+// or more than one slot above a zero/negative baseline (a percent of a
+// non-positive tail is meaningless, and one slot of growth there is
+// quantization noise).
 func tailRegressed(base, cur int64, pct float64) bool {
 	if base > 0 {
 		return float64(cur) > float64(base)*(1+pct/100)

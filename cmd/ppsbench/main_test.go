@@ -88,19 +88,29 @@ func writeBaseline(t *testing.T, f benchFile) string {
 
 // TestPrintDeltaTailColumns exercises the delta table: tail columns render
 // both sides, an absent baseline block shows an em dash, and the gate flags
-// (a) a throughput regression and (b) a tail regression — but not a case
-// that is merely slower within the threshold.
+// (a) a throughput regression, (b) a tail regression at p99, (c) one visible
+// only at p999, and (d) growth past a zero baseline in either column — but
+// not a case that is merely slower within the threshold or one slot of
+// quantization noise above a zero tail.
 func TestPrintDeltaTailColumns(t *testing.T) {
 	base := benchFile{Rev: "base", Results: []benchResult{
 		{benchCase: benchCase{Name: "fine"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "slow"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "tail"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "tail999"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "zero99"}, SlotsPerSec: 1000, Percentiles: quantiles(0, 20)},
+		{benchCase: benchCase{Name: "zero999"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 0)},
+		{benchCase: benchCase{Name: "zerook"}, SlotsPerSec: 1000, Percentiles: quantiles(0, 0)},
 		{benchCase: benchCase{Name: "notail"}, SlotsPerSec: 1000},
 	}}
 	cur := benchFile{Rev: "cur", Results: []benchResult{
 		{benchCase: benchCase{Name: "fine"}, SlotsPerSec: 950, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "slow"}, SlotsPerSec: 500, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "tail"}, SlotsPerSec: 1000, Percentiles: quantiles(30, 60)},
+		{benchCase: benchCase{Name: "tail999"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 60)},
+		{benchCase: benchCase{Name: "zero99"}, SlotsPerSec: 1000, Percentiles: quantiles(2, 20)},
+		{benchCase: benchCase{Name: "zero999"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 2)},
+		{benchCase: benchCase{Name: "zerook"}, SlotsPerSec: 1000, Percentiles: quantiles(1, 1)},
 		{benchCase: benchCase{Name: "notail"}, SlotsPerSec: 1000, Percentiles: quantiles(5, 9)},
 	}}
 
@@ -110,13 +120,17 @@ func TestPrintDeltaTailColumns(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if flagged != 2 {
-		t.Errorf("flagged = %d, want 2 (slow + tail)\n%s", flagged, out)
+	if flagged != 5 {
+		t.Errorf("flagged = %d, want 5 (slow + tail + tail999 + zero99 + zero999)\n%s", flagged, out)
 	}
 	for _, want := range []string{
 		"| fine | 1000 | 950 | -5.0% | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
 		"| slow | 1000 | 500 | -50.0% ⚠ |",
 		"| tail | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 10 → 30 | 20 → 60 |",
+		"| tail999 | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 10 → 10 | 20 → 60 |",
+		"| zero99 | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 0 → 2 | 20 → 20 |",
+		"| zero999 | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 10 → 10 | 0 → 2 |",
+		"| zerook | 1000 | 1000 | +0.0% | 0.0 → 0.0 | 0 → 1 | 0 → 1 |",
 		"| notail | 1000 | 1000 | +0.0% | 0.0 → 0.0 | — → 5 | — → 9 |",
 	} {
 		if !strings.Contains(out, want) {
@@ -162,10 +176,12 @@ func TestTailRegressed(t *testing.T) {
 
 // TestRunRecordsPercentiles runs one tiny case end to end and checks the
 // measured result carries a populated tail block whose components agree in
-// count (every delivered cell contributes one sample to each component).
+// count (every delivered cell contributes one sample to each component),
+// plus the engine record: an auto run over a lookahead-capable source and an
+// idle-invariant algorithm lands on the event core with no degradation.
 func TestRunRecordsPercentiles(t *testing.T) {
 	c := benchCase{Name: "t", Traffic: "uniform", N: 8, K: 2, RPrime: 2, Slots: 400, Seed: 1}
-	res, err := run(c, 0, nil, ppsim.FaultAbort, false)
+	res, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineAuto, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,5 +191,36 @@ func TestRunRecordsPercentiles(t *testing.T) {
 	}
 	if q.Demux.N != q.RQD.N || q.Plane.N != q.RQD.N || q.Reseq.N != q.RQD.N || q.Total.N != q.RQD.N {
 		t.Errorf("component counts disagree: %+v", q)
+	}
+	if res.Engine != "event" || res.EngineReason != "" {
+		t.Errorf("auto run recorded engine %q (%q), want the event core", res.Engine, res.EngineReason)
+	}
+}
+
+// TestRunForcedSteppedMatchesEvent pins the CLI-level equivalence the
+// committed BENCH_pr7 pair relies on: forcing -engine stepped changes only
+// the engine record and the wall-clock figures, never a measurement.
+func TestRunForcedSteppedMatchesEvent(t *testing.T) {
+	c := benchCase{Name: "t", Traffic: "bursty-low", N: 32, K: 8, RPrime: 2, Slots: 600, Seed: 1}
+	stepped, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineStepped, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineEvent, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepped.Engine != "stepped" || event.Engine != "event" {
+		t.Fatalf("engine records: stepped=%q event=%q", stepped.Engine, event.Engine)
+	}
+	if stepped.SlotsElided != 0 {
+		t.Errorf("stepped run elided %d slots", stepped.SlotsElided)
+	}
+	if event.SlotsElided == 0 {
+		t.Error("event run on mostly-idle traffic elided nothing")
+	}
+	if stepped.RunSlots != event.RunSlots || stepped.Cells != event.Cells ||
+		stepped.MaxRQD != event.MaxRQD || *stepped.Percentiles != *event.Percentiles {
+		t.Errorf("measurements diverge:\nstepped: %+v\nevent:   %+v", stepped, event)
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print utilization per output")
 		pctl       = flag.Bool("percentiles", false, "print the per-component delay percentile table (rqd, demux, plane, reseq, total, inter-departure gap)")
 		workers    = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
+		engine     = flag.String("engine", "auto", "slot-execution core: auto, stepped, fastforward, event")
 		fastfwd    = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; ignored with -trace)")
 		trace      = flag.String("trace", "", "write a JSONL event trace to FILE")
 		series     = flag.String("series", "", "write per-slot probe series CSV to FILE")
@@ -56,6 +57,12 @@ func main() {
 		os.Exit(2)
 	}
 	failed, err := parseFailPlanes(*failPlanes, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	eng, err := ppsim.ParseEngine(*engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppssim:", err)
 		flag.Usage()
@@ -117,6 +124,7 @@ func main() {
 		Workers:     *workers,
 		FailPlanes:  failed,
 		FaultPolicy: policy,
+		Engine:      eng,
 		FastForward: *fastfwd,
 	}
 	if !schedule.Empty() {
@@ -145,6 +153,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppssim:", err)
 		os.Exit(1)
+	}
+	// A forced engine or -fastforward request can silently degrade (tracer
+	// attached, no lookahead, no idle invariant, parallel workers). Surface
+	// the recorded reason so users asking for elision learn they ran stepped.
+	if res.EngineReason != "" && (eng != ppsim.EngineAuto || *fastfwd) {
+		fmt.Fprintf(os.Stderr, "ppssim: engine degraded to %s: %s\n", res.Engine, res.EngineReason)
 	}
 
 	fmt.Printf("switch: N=%d K=%d r'=%d S=%.2f traffic=%s\n",

@@ -46,9 +46,12 @@ type Algorithm interface {
 	// returned sends are executed this slot; any arrival not sent must be
 	// buffered by the algorithm (only input-buffered algorithms may do
 	// so). Slot is called for every slot, including silent ones, so
-	// buffered algorithms can release held cells. The returned slice is
-	// only valid until the next Slot call: algorithms reuse its backing
-	// array across slots to keep the steady state allocation-free.
+	// buffered algorithms can release held cells — except that engines may
+	// elide the call on slots that are provably idle (no arrivals, no
+	// buffered cells anywhere) when the algorithm certifies IdleInvariant.
+	// The returned slice is only valid until the next Slot call:
+	// algorithms reuse its backing array across slots to keep the steady
+	// state allocation-free.
 	Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error)
 
 	// Buffered reports the number of cells currently held in input-port
@@ -73,12 +76,22 @@ func (s *sendScratch) keep(sends []Send) []Send {
 }
 
 // IdleInvariant is an optional Algorithm capability for the harness's
-// quiescence fast-forward: an algorithm returns true to certify that
-// Slot(t, nil) on a slot with no arrivals — and, for input-buffered
-// algorithms, no buffered cells — leaves every piece of its observable state
-// (pointers, counters, RNG streams, log cursors) unchanged and returns no
-// sends. Under that certificate the engine may skip Slot entirely on elided
-// idle slots and still produce bit-identical results.
+// quiescence fast-forward and event-driven cores: an algorithm returns true
+// to certify that Slot(t, nil) on a slot with no arrivals — and, for
+// input-buffered algorithms, no buffered cells — leaves every piece of its
+// observable state (pointers, counters, RNG streams, log cursors) unchanged
+// and returns no sends. Under that certificate the engine may skip Slot
+// entirely on elided idle slots and still produce bit-identical results.
+//
+// The certificate also makes *partial* idleness sound for the event core's
+// sparse bookkeeping: because an idle Slot call is a provable no-op, the
+// only inputs whose buffer reports can change on any slot are those holding
+// pending cells plus those receiving an arrival, and the only outputs that
+// can emit are those already holding queued work — so auditing just those
+// working sets observes everything a full O(N) walk would. An algorithm
+// whose Slot could touch per-input or per-output state *outside* those sets
+// on a non-idle slot is still fine (the fabric executes every non-idle slot
+// in full); only idle-slot mutation breaks the contract.
 //
 // Algorithms whose per-slot work is driven by wall-clock time rather than
 // arrivals must NOT implement this (or must return false): the stale-info

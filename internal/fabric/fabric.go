@@ -172,12 +172,34 @@ type PPS struct {
 	// pool is the stage-parallel worker pool, nil for the serial engine.
 	pool *workerPool
 
-	// drainOuts is the busy-output working set of the harness's quiescence
-	// drain (DrainStep): once a drain phase starts it only ever shrinks, so
-	// it is built lazily on the first DrainStep of a phase (drainActive) and
-	// re-filtered in place each micro-step. Any normal Step invalidates it.
-	drainOuts   []cell.Port
-	drainActive bool
+	// cellsInPlanes and cellsInOutputs incrementally mirror the structural
+	// sums audit() computes, and queuedPerOut[j] mirrors the sum of plane
+	// backlogs destined to output j. Together with pendingTotal they make
+	// Backlog and the per-output busy predicate O(1) — the event engine
+	// consults both every slot, where the structural walk would reintroduce
+	// the O(N+K) cost the engine exists to avoid. audit() cross-checks the
+	// totals against the structures whenever it runs.
+	cellsInPlanes  int
+	cellsInOutputs int
+	queuedPerOut   []int
+
+	// busyList is the sorted working set of outputs that may still hold
+	// work (cells queued in a plane or parked in the resequencer). Dispatch
+	// stages a newly-busy output in busyAdd (guarded by busyMark); the
+	// sparse mux sweeps (DrainStep, EventStep) merge the additions, walk the
+	// set in ascending output order — preserving the serial engine's
+	// departure and EvXmit order — and compact drained outputs out. The set
+	// is a conservative superset: a full Step never shrinks it, so any legal
+	// Step/DrainStep/EventStep interleaving keeps it valid.
+	busyMark []bool
+	busyList []cell.Port
+	busyAdd  []cell.Port
+
+	// pendingList is the working set of inputs holding arrived-but-
+	// undispatched cells, with pendingIdx[i] its position (-1 when absent).
+	// EventStep audits only these inputs plus the slot's arrival inputs.
+	pendingList []cell.Port
+	pendingIdx  []int32
 }
 
 // New builds a PPS and constructs its demultiplexing algorithm via makeAlg,
@@ -199,6 +221,12 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 		lastFlowSeq:        make([]map[cell.Port]uint64, cfg.N),
 		dispatchedPerPlane: make([]uint64, cfg.K),
 		pullsPerOut:        make([]int64, cfg.N),
+		queuedPerOut:       make([]int, cfg.N),
+		busyMark:           make([]bool, cfg.N),
+		pendingIdx:         make([]int32, cfg.N),
+	}
+	for i := range p.pendingIdx {
+		p.pendingIdx[i] = -1
 	}
 	for j := range p.lastFlowSeq {
 		p.lastFlowSeq[j] = make(map[cell.Port]uint64)
@@ -388,6 +416,8 @@ func (p *PPS) applyFaults(t cell.Time) {
 			if p.cfg.FaultPolicy == faults.DropCount {
 				p.failScratch = p.planes[e.Plane].FailDrop(p.failScratch[:0])
 				for _, c := range p.failScratch {
+					p.cellsInPlanes--
+					p.queuedPerOut[c.Flow.Out]--
 					p.recordDrop(t, c)
 				}
 			} else {
@@ -419,11 +449,18 @@ func (v *planeView) Head(k cell.Plane) (cell.Cell, bool) {
 func (v *planeView) Pop(k cell.Plane) cell.Cell {
 	var c cell.Cell
 	if v.pulls != nil {
+		// Sharded mux stage: the global plane/output totals are reconciled
+		// by stepSharded after the barrier, alongside the plane backlogs.
 		c = v.p.planes[k].PopDeferred(v.j)
 		v.pulls[k]++
 	} else {
 		c = v.p.planes[k].Pop(v.j)
+		v.p.cellsInPlanes--
+		v.p.cellsInOutputs++
 	}
+	// queuedPerOut[j] is written only by the goroutine driving output j, so
+	// it needs no deferral (same ownership argument as pullsPerOut).
+	v.p.queuedPerOut[v.j]--
 	v.p.pullsPerOut[v.j]++
 	if v.p.logArmed {
 		e := demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k}
@@ -445,42 +482,26 @@ func (v *planeView) SeizeGate(k cell.Plane, t cell.Time) error {
 	return v.p.outGates.Gate(int(k), int(v.j)).Seize(t)
 }
 
-// Step advances the PPS by one slot. arrivals must be stamped cells with
-// Arrive == t, at most one per input, in sequence order. Departing cells are
-// appended to dst and returned with Depart (and the intermediate stamps)
-// set.
-func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.Cell, error) {
-	if t <= p.lastSlot {
-		return dst, fmt.Errorf("fabric: non-monotone slot %d after %d", t, p.lastSlot)
-	}
-	if t != p.lastSlot+1 && p.Backlog() > 0 {
-		return dst, fmt.Errorf("fabric: skipped from slot %d to %d with %d cells in flight", p.lastSlot, t, p.Backlog())
-	}
-	p.lastSlot = t
-	p.drainActive = false
-
-	// 0. Scheduled faults, before this slot's arrivals are presented.
-	if len(p.slotDrops) > 0 {
-		p.slotDrops = p.slotDrops[:0]
-	}
-	if p.faults != nil {
-		p.applyFaults(t)
-	}
-
-	// 1. Arrivals.
+// acceptArrivals runs stage 1 of a slot: validate and admit the arrivals,
+// updating the pending counters and working set. Shared by Step and
+// EventStep so the two engines cannot drift.
+func (p *PPS) acceptArrivals(t cell.Time, arrivals []cell.Cell) error {
 	for _, c := range arrivals {
 		if c.Arrive != t {
-			return dst, p.violation(t, fmt.Errorf("fabric: cell %v presented at slot %d", c, t))
+			return p.violation(t, fmt.Errorf("fabric: cell %v presented at slot %d", c, t))
 		}
 		if int(c.Flow.In) < 0 || int(c.Flow.In) >= p.cfg.N || int(c.Flow.Out) < 0 || int(c.Flow.Out) >= p.cfg.N {
-			return dst, p.violation(t, fmt.Errorf("fabric: cell %v outside %dx%d switch", c, p.cfg.N, p.cfg.N))
+			return p.violation(t, fmt.Errorf("fabric: cell %v outside %dx%d switch", c, p.cfg.N, p.cfg.N))
 		}
 		if p.seenStamp[c.Flow.In] == t {
-			return dst, p.violation(t, fmt.Errorf("fabric: two cells arrived at input %d in slot %d", c.Flow.In, t))
+			return p.violation(t, fmt.Errorf("fabric: two cells arrived at input %d in slot %d", c.Flow.In, t))
 		}
 		p.seenStamp[c.Flow.In] = t
 		p.arrived++
-		p.pendingPerIn[c.Flow.In]++
+		if p.pendingPerIn[c.Flow.In]++; p.pendingPerIn[c.Flow.In] == 1 {
+			p.pendingIdx[c.Flow.In] = int32(len(p.pendingList))
+			p.pendingList = append(p.pendingList, c.Flow.In)
+		}
 		p.pendingTotal++
 		if p.logArmed {
 			p.log.Append(demux.Event{T: t, Kind: demux.EvArrival, In: c.Flow.In, Out: c.Flow.Out})
@@ -489,24 +510,31 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvArrival, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: cell.NoPlane})
 		}
 	}
+	return nil
+}
 
-	// 2. Demultiplexing.
+// dispatch runs stage 2 of a slot: present the arrivals to the algorithm and
+// execute its sends, updating the plane/output backlog counters and staging
+// newly-busy outputs. Shared by Step and EventStep.
+func (p *PPS) dispatch(t cell.Time, arrivals []cell.Cell) error {
 	sends, err := p.alg.Slot(t, arrivals)
 	if err != nil {
-		return dst, fmt.Errorf("fabric: algorithm %s: %w", p.alg.Name(), err)
+		return fmt.Errorf("fabric: algorithm %s: %w", p.alg.Name(), err)
 	}
 	for _, s := range sends {
 		c := s.Cell
 		if s.Plane < 0 || int(s.Plane) >= p.cfg.K {
-			return dst, p.violation(t, fmt.Errorf("fabric: %s dispatched %v to nonexistent plane %d", p.alg.Name(), c, s.Plane))
+			return p.violation(t, fmt.Errorf("fabric: %s dispatched %v to nonexistent plane %d", p.alg.Name(), c, s.Plane))
 		}
 		if err := p.inGates.Gate(int(c.Flow.In), int(s.Plane)).Seize(t); err != nil {
-			return dst, p.violation(t, fmt.Errorf("fabric: %s violated the input constraint: %w", p.alg.Name(), err))
+			return p.violation(t, fmt.Errorf("fabric: %s violated the input constraint: %w", p.alg.Name(), err))
 		}
 		if p.pendingPerIn[c.Flow.In] == 0 {
-			return dst, p.violation(t, fmt.Errorf("fabric: %s dispatched cell %v that is not pending at input %d", p.alg.Name(), c, c.Flow.In))
+			return p.violation(t, fmt.Errorf("fabric: %s dispatched cell %v that is not pending at input %d", p.alg.Name(), c, c.Flow.In))
 		}
-		p.pendingPerIn[c.Flow.In]--
+		if p.pendingPerIn[c.Flow.In]--; p.pendingPerIn[c.Flow.In] == 0 {
+			p.removePending(c.Flow.In)
+		}
 		p.pendingTotal--
 		p.dispatched++
 		p.dispatchedPerPlane[s.Plane]++
@@ -530,7 +558,13 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 			}
 		}
 		if err := p.planes[s.Plane].Enqueue(c); err != nil {
-			return dst, p.violation(t, err)
+			return p.violation(t, err)
+		}
+		p.cellsInPlanes++
+		p.queuedPerOut[c.Flow.Out]++
+		if !p.busyMark[c.Flow.Out] {
+			p.busyMark[c.Flow.Out] = true
+			p.busyAdd = append(p.busyAdd, c.Flow.Out)
 		}
 		if p.logArmed {
 			p.log.Append(demux.Event{T: t, Kind: demux.EvDispatch, In: c.Flow.In, Out: c.Flow.Out, K: s.Plane})
@@ -538,6 +572,126 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 		if p.trace {
 			p.tracer.Emit(obs.Event{T: t, Kind: obs.EvPlaneEnqueue, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: s.Plane})
 		}
+	}
+	p.mergeBusy()
+	return nil
+}
+
+// mergeBusy folds the outputs staged by dispatch into the sorted busy list.
+// Additions within one slot arrive in dispatch order, which tracks arrival
+// order — nearly sorted — so an insertion sort beats the generic sort; the
+// busyMark guard guarantees the two runs are disjoint, making the in-place
+// back-to-front merge safe.
+func (p *PPS) mergeBusy() {
+	add := p.busyAdd
+	if len(add) == 0 {
+		return
+	}
+	for i := 1; i < len(add); i++ {
+		for k := i; k > 0 && add[k] < add[k-1]; k-- {
+			add[k], add[k-1] = add[k-1], add[k]
+		}
+	}
+	old := len(p.busyList)
+	p.busyList = append(p.busyList, add...)
+	i, k := old-1, len(add)-1
+	for w := len(p.busyList) - 1; k >= 0; w-- {
+		if i >= 0 && p.busyList[i] > add[k] {
+			p.busyList[w] = p.busyList[i]
+			i--
+		} else {
+			p.busyList[w] = add[k]
+			k--
+		}
+	}
+	p.busyAdd = p.busyAdd[:0]
+}
+
+// sweepBusy runs the multiplexing stage over the busy working set in
+// ascending output order (the serial engine's departure and EvXmit order)
+// and compacts outputs that drained. Shared by DrainStep and EventStep.
+func (p *PPS) sweepBusy(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
+	keep := p.busyList[:0]
+	for _, j := range p.busyList {
+		var err error
+		dst, err = p.stepOutput(t, j, dst)
+		if err != nil {
+			return dst, err
+		}
+		if p.outputBusy(j) {
+			keep = append(keep, j)
+		} else {
+			p.busyMark[j] = false
+		}
+	}
+	p.busyList = keep
+	return dst, nil
+}
+
+// removePending drops input in from the pending working set (its last
+// buffered cell was dispatched). O(1) swap-remove; order is irrelevant — the
+// set only scopes EventStep's sparse audit.
+func (p *PPS) removePending(in cell.Port) {
+	idx := p.pendingIdx[in]
+	last := len(p.pendingList) - 1
+	moved := p.pendingList[last]
+	p.pendingList[idx] = moved
+	p.pendingIdx[moved] = idx
+	p.pendingList = p.pendingList[:last]
+	p.pendingIdx[in] = -1
+}
+
+// stepOutput runs the multiplexing stage for one output: pull per policy,
+// emit, verify flow order, and account the departure. Shared by the serial
+// Step loop, DrainStep and EventStep.
+func (p *PPS) stepOutput(t cell.Time, j cell.Port, dst []cell.Cell) ([]cell.Cell, error) {
+	pv := &p.pviews[j]
+	pv.t = t
+	c, ok, err := p.outputs[j].Step(t, pv)
+	if err != nil {
+		return dst, err
+	}
+	if !ok {
+		return dst, nil
+	}
+	if err := p.checkFlowOrder(c); err != nil {
+		return dst, p.violation(t, err)
+	}
+	p.departed++
+	p.cellsInOutputs--
+	if p.trace {
+		p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDepart, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
+	}
+	return append(dst, c), nil
+}
+
+// Step advances the PPS by one slot. arrivals must be stamped cells with
+// Arrive == t, at most one per input, in sequence order. Departing cells are
+// appended to dst and returned with Depart (and the intermediate stamps)
+// set.
+func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.Cell, error) {
+	if t <= p.lastSlot {
+		return dst, fmt.Errorf("fabric: non-monotone slot %d after %d", t, p.lastSlot)
+	}
+	if t != p.lastSlot+1 && p.Backlog() > 0 {
+		return dst, fmt.Errorf("fabric: skipped from slot %d to %d with %d cells in flight", p.lastSlot, t, p.Backlog())
+	}
+	p.lastSlot = t
+
+	// 0. Scheduled faults, before this slot's arrivals are presented.
+	if len(p.slotDrops) > 0 {
+		p.slotDrops = p.slotDrops[:0]
+	}
+	if p.faults != nil {
+		p.applyFaults(t)
+	}
+
+	// 1. Arrivals; 2. demultiplexing.
+	if err := p.acceptArrivals(t, arrivals); err != nil {
+		return dst, err
+	}
+	if err := p.dispatch(t, arrivals); err != nil {
+		return dst, err
 	}
 
 	// 3. Buffer discipline; 4. multiplexing and departures. The sharded
@@ -559,23 +713,11 @@ func (p *PPS) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.C
 			}
 		}
 		for j := 0; j < p.cfg.N; j++ {
-			pv := &p.pviews[j]
-			pv.t = t
-			c, ok, err := p.outputs[j].Step(t, pv)
+			var err error
+			dst, err = p.stepOutput(t, cell.Port(j), dst)
 			if err != nil {
 				return dst, err
 			}
-			if !ok {
-				continue
-			}
-			if err := p.checkFlowOrder(c); err != nil {
-				return dst, p.violation(t, err)
-			}
-			p.departed++
-			if p.trace {
-				p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDepart, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
-			}
-			dst = append(dst, c)
 		}
 	}
 
@@ -614,17 +756,10 @@ func (p *PPS) NextFaultSlot() cell.Time {
 }
 
 // outputBusy reports whether output j still has work: cells parked in its
-// resequencing buffer or queued for it in any plane.
+// resequencing buffer or queued for it in any plane. O(1) via the
+// incremental per-output plane-backlog counter.
 func (p *PPS) outputBusy(j cell.Port) bool {
-	if p.outputs[j].Buffered() > 0 {
-		return true
-	}
-	for _, pl := range p.planes {
-		if pl.QueueLen(j) > 0 {
-			return true
-		}
-	}
-	return false
+	return p.outputs[j].Buffered() > 0 || p.queuedPerOut[j] > 0
 }
 
 // DrainStep advances the PPS by one slot running only the multiplexing
@@ -635,8 +770,10 @@ func (p *PPS) outputBusy(j cell.Port) bool {
 // release scans are no-ops), no arrivals, no fault event due at t, and an
 // idle-invariant algorithm. The skipped conservation audit is implied by the
 // previous slot's audit plus this slot moving cells only from planes/outputs
-// to departed. Interleaving DrainStep with Step is legal in any order; Step
-// invalidates the busy-output working set.
+// to departed. The busy-output working set is persistent — dispatch adds
+// outputs, only the sweep removes drained ones, and a full Step never
+// shrinks it — so any legal Step/DrainStep/EventStep interleaving keeps it a
+// valid (conservative) superset of the truly-busy outputs.
 func (p *PPS) DrainStep(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
 	if t <= p.lastSlot {
 		return dst, fmt.Errorf("fabric: non-monotone slot %d after %d", t, p.lastSlot)
@@ -645,44 +782,82 @@ func (p *PPS) DrainStep(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
 	if len(p.slotDrops) > 0 {
 		p.slotDrops = p.slotDrops[:0]
 	}
-	if !p.drainActive {
-		p.drainOuts = p.drainOuts[:0]
-		for j := 0; j < p.cfg.N; j++ {
-			if p.outputBusy(cell.Port(j)) {
-				p.drainOuts = append(p.drainOuts, cell.Port(j))
-			}
-		}
-		p.drainActive = true
+	return p.sweepBusy(t, dst)
+}
+
+// EventStep advances the PPS by one slot at O(events) cost: the dispatch
+// stage runs only when some input holds work, the buffer audit covers only
+// inputs that could have changed (the pending working set plus this slot's
+// arrival inputs), the multiplexing stage sweeps only the busy-output
+// working set, and the conservation audit is the O(1) counter identity
+// instead of the structural walk. It is bit-identical to Step under the
+// engine-selection preconditions (an IdleInvariant algorithm, serial mode,
+// no tracer): eliding the algorithm's Slot call on a slot with no arrivals
+// and no pending cells is exactly the contract demux.IdleInvariant
+// certifies, and every skipped stage is a provable no-op. The sparse audit
+// detects every buffer-capacity violation (an offender necessarily has
+// pending cells, so it is in the working set) but can miss a cheating
+// algorithm misreporting Buffered for an input the fabric believes empty —
+// the stepped engine remains the full referee, and the equivalence matrix
+// cross-checks the two.
+func (p *PPS) EventStep(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) ([]cell.Cell, error) {
+	if t <= p.lastSlot {
+		return dst, fmt.Errorf("fabric: non-monotone slot %d after %d", t, p.lastSlot)
 	}
-	keep := p.drainOuts[:0]
-	for _, j := range p.drainOuts {
-		pv := &p.pviews[int(j)]
-		pv.t = t
-		c, ok, err := p.outputs[int(j)].Step(t, pv)
-		if err != nil {
+	if t != p.lastSlot+1 && p.Backlog() > 0 {
+		return dst, fmt.Errorf("fabric: skipped from slot %d to %d with %d cells in flight", p.lastSlot, t, p.Backlog())
+	}
+	p.lastSlot = t
+
+	if len(p.slotDrops) > 0 {
+		p.slotDrops = p.slotDrops[:0]
+	}
+	if p.faults != nil {
+		p.applyFaults(t)
+	}
+
+	if err := p.acceptArrivals(t, arrivals); err != nil {
+		return dst, err
+	}
+	if len(arrivals) > 0 || p.pendingTotal > 0 {
+		if err := p.dispatch(t, arrivals); err != nil {
 			return dst, err
 		}
-		if ok {
-			if err := p.checkFlowOrder(c); err != nil {
+		for _, in := range p.pendingList {
+			if err := p.auditInput(int(in)); err != nil {
 				return dst, p.violation(t, err)
 			}
-			p.departed++
-			if p.trace {
-				p.tracer.Emit(obs.Event{T: t, Kind: obs.EvDepart, Seq: c.Seq, In: c.Flow.In, Out: c.Flow.Out, Plane: c.Via})
-			}
-			dst = append(dst, c)
 		}
-		if p.outputBusy(j) {
-			keep = append(keep, j)
+		for _, c := range arrivals {
+			// Arrival inputs still pending were audited above.
+			if p.pendingPerIn[c.Flow.In] == 0 {
+				if err := p.auditInput(int(c.Flow.In)); err != nil {
+					return dst, p.violation(t, err)
+				}
+			}
 		}
 	}
-	p.drainOuts = keep
+
+	var err error
+	dst, err = p.sweepBusy(t, dst)
+	if err != nil {
+		return dst, err
+	}
+
+	if p.cfg.CheckInvariants {
+		total := uint64(p.pendingTotal+p.cellsInPlanes+p.cellsInOutputs) + p.departed + p.dropped
+		if total != p.arrived {
+			return dst, p.violation(t, fmt.Errorf("fabric: conservation violated: arrived %d != pending %d + planes %d + outputs %d + departed %d + dropped %d",
+				p.arrived, p.pendingTotal, p.cellsInPlanes, p.cellsInOutputs, p.departed, p.dropped))
+		}
+	}
 	return dst, nil
 }
 
-// audit checks cell conservation across the stages. Accounted drops are a
-// legitimate cell fate under DropCount; p.dropped is always zero under
-// Abort.
+// audit checks cell conservation across the stages, and that the
+// incremental backlog counters agree with the structures they mirror.
+// Accounted drops are a legitimate cell fate under DropCount; p.dropped is
+// always zero under Abort.
 func (p *PPS) audit() error {
 	inPlanes := 0
 	for _, pl := range p.planes {
@@ -691,6 +866,10 @@ func (p *PPS) audit() error {
 	inOutputs := 0
 	for _, o := range p.outputs {
 		inOutputs += o.Buffered()
+	}
+	if inPlanes != p.cellsInPlanes || inOutputs != p.cellsInOutputs {
+		return fmt.Errorf("fabric: backlog counters drifted: planes hold %d (counter %d), outputs hold %d (counter %d)",
+			inPlanes, p.cellsInPlanes, inOutputs, p.cellsInOutputs)
 	}
 	total := uint64(p.pendingTotal+inPlanes+inOutputs) + p.departed + p.dropped
 	if total != p.arrived {
@@ -701,16 +880,10 @@ func (p *PPS) audit() error {
 }
 
 // Backlog reports the number of cells inside the switch (input buffers,
-// planes and output buffers).
+// planes and output buffers). O(1): the terms are maintained incrementally
+// at every enqueue, pop, departure and fault-drop site.
 func (p *PPS) Backlog() int {
-	n := p.pendingTotal
-	for _, pl := range p.planes {
-		n += pl.Backlog()
-	}
-	for _, o := range p.outputs {
-		n += o.Buffered()
-	}
-	return n
+	return p.pendingTotal + p.cellsInPlanes + p.cellsInOutputs
 }
 
 // Drained reports whether every cell that arrived has left the switch —

@@ -232,15 +232,22 @@ func (p *PPS) stepSharded(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
 	// Reconcile the deferred plane pops and replay buffered log events
 	// before surfacing any error, so counters and the log stay consistent
 	// with the pops that actually happened.
+	totalPulls := 0
 	for w := 0; w < pl.workers; w++ {
 		pulls := pl.pulls[w]
 		for k, n := range pulls {
 			if n != 0 {
 				p.planes[k].AddBacklogDelta(-n)
+				totalPulls += n
 				pulls[k] = 0
 			}
 		}
 	}
+	// Every deferred pop moved one cell from a plane to an output buffer;
+	// the per-output queuedPerOut deltas were applied inline by the owning
+	// shards (planeView.Pop), only the global totals are deferred here.
+	p.cellsInPlanes -= totalPulls
+	p.cellsInOutputs += totalPulls
 	if p.logArmed {
 		for w := 0; w < pl.workers; w++ {
 			for _, e := range pl.events[w] {
@@ -257,6 +264,7 @@ func (p *PPS) stepSharded(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
 			continue
 		}
 		p.departed++
+		p.cellsInOutputs--
 		dst = append(dst, pl.depCell[j])
 	}
 	return dst, nil

@@ -45,17 +45,26 @@ var ffShapes = []struct {
 	}},
 }
 
-// TestFastForwardMatchesSteppedMatrix is the bit-identity contract of the
-// quiescence fast-forward, in the style of TestParallelMatchesSerialMatrix:
-// for every registered algorithm, traffic shape, engine (serial and
-// stage-parallel) and fault schedule (none, and an outage straddling idle
-// gaps under DropCount), a run with Options.FastForward must produce a
-// Result deeply equal to the stepped run's — decimated series (ring state
+// stripEngine zeroes the engine-metadata fields so equivalence tests can
+// DeepEqual Results produced by different engines: the measurements must be
+// bit-identical, the record of which core ran intentionally differs.
+func stripEngine(r Result) Result {
+	r.Engine, r.EngineReason = "", ""
+	return r
+}
+
+// TestEngineEquivalenceMatrix is the bit-identity contract of every
+// slot-execution core, in the style of TestParallelMatchesSerialMatrix: for
+// every registered algorithm, traffic shape, worker count and fault schedule
+// (none, and an outage straddling idle gaps under DropCount), the
+// fast-forward, event-driven and auto-selected engines must produce Results
+// deeply equal to the forced-stepped oracle — decimated series (ring state
 // included, since DeepEqual follows the Series pointers into their
 // unexported fields), drop counters, RQD/RDJ statistics, burstiness,
-// utilization, everything. Stale-information algorithms exercise the
-// capability gate: they fall back to stepping and must still match.
-func TestFastForwardMatchesSteppedMatrix(t *testing.T) {
+// utilization, everything except the Engine/EngineReason record itself.
+// Stale-information algorithms and stage-parallel runs exercise the
+// capability gates: they degrade (recording why) and must still match.
+func TestEngineEquivalenceMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full equivalence matrix skipped in -short mode")
 	}
@@ -74,45 +83,93 @@ func TestFastForwardMatchesSteppedMatrix(t *testing.T) {
 			return faults.NewSchedule().Outage(1, 100, 160)
 		}, faults.DropCount},
 	}
-	var elidedSparse cell.Time
+	var elidedFF, elidedEvent cell.Time
+	eventRuns, fallbacks := 0, 0
 	for _, alg := range matrixAlgs {
 		for _, shape := range ffShapes {
 			for _, w := range []int{0, 4} {
 				for _, sched := range schedules {
-					run := func(ff bool) Result {
+					run := func(eng Engine, ff bool) Result {
 						opts := Options{
 							Validate:    true,
 							Utilization: true,
 							Workers:     w,
 							Faults:      sched.mk(),
 							FaultPolicy: sched.polcy,
+							Engine:      eng,
 							FastForward: ff,
 							Probes:      obs.StandardProbes(n, cfg.K, 3, 16),
 						}
-						if ff && shape.name == "sparse" {
-							opts.OnFastForward = func(from, to cell.Time) { elidedSparse += to - from }
+						if shape.name == "sparse" {
+							switch {
+							case ff:
+								opts.OnFastForward = func(from, to cell.Time) { elidedFF += to - from }
+							case eng == EngineEvent:
+								opts.OnFastForward = func(from, to cell.Time) { elidedEvent += to - from }
+							}
 						}
 						res, err := Run(cfg, alg.mk, shape.mk(n, shape.horizon), opts)
 						if err != nil {
-							t.Fatalf("%s/%s/w%d/%s ff=%v: %v", alg.name, shape.name, w, sched.name, ff, err)
+							t.Fatalf("%s/%s/w%d/%s engine=%v ff=%v: %v", alg.name, shape.name, w, sched.name, eng, ff, err)
 						}
 						return res
 					}
 					t.Run(fmt.Sprintf("%s/%s/w%d/%s", alg.name, shape.name, w, sched.name), func(t *testing.T) {
-						stepped := run(false)
+						stepped := run(EngineStepped, false)
 						if stepped.Report.Cells == 0 {
 							t.Fatal("empty stepped run")
 						}
-						if ffRes := run(true); !reflect.DeepEqual(stepped, ffRes) {
-							t.Errorf("fast-forward result diverges from stepped\nstepped:     %+v\nfastforward: %+v", stepped, ffRes)
+						if stepped.Engine != "stepped" || stepped.EngineReason != "" {
+							t.Fatalf("forced stepped run recorded engine %q (%q)", stepped.Engine, stepped.EngineReason)
+						}
+						variants := []struct {
+							name string
+							res  Result
+						}{
+							{"fastforward", run(EngineStepped, true)},
+							{"event", run(EngineEvent, false)},
+						}
+						if w == 0 {
+							variants = append(variants, struct {
+								name string
+								res  Result
+							}{"auto", run(EngineAuto, false)})
+						}
+						for _, v := range variants {
+							if !reflect.DeepEqual(stripEngine(stepped), stripEngine(v.res)) {
+								t.Errorf("%s result diverges from stepped\nstepped: %+v\n%s: %+v", v.name, stepped, v.name, v.res)
+							}
+							if v.res.Engine == "event" {
+								eventRuns++
+								if w != 0 {
+									t.Errorf("event core ran in a stage-parallel run (w=%d)", w)
+								}
+								if v.res.EngineReason != "" {
+									t.Errorf("event run carries a degradation reason: %q", v.res.EngineReason)
+								}
+							} else if v.name == "event" {
+								fallbacks++
+								if v.res.EngineReason == "" {
+									t.Errorf("event request degraded to %q without a reason", v.res.Engine)
+								}
+							}
 						}
 					})
 				}
 			}
 		}
 	}
-	if elidedSparse == 0 {
-		t.Error("sparse shape elided no slots: the fast-forward path was never exercised")
+	if elidedFF == 0 {
+		t.Error("sparse shape elided no slots under fast-forward: the elision path was never exercised")
+	}
+	if elidedEvent == 0 {
+		t.Error("sparse shape elided no slots under the event core: the quiet jump was never exercised")
+	}
+	if eventRuns == 0 {
+		t.Error("no run used the event core")
+	}
+	if fallbacks == 0 {
+		t.Error("no event request degraded: the capability gates were never exercised")
 	}
 }
 

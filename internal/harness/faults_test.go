@@ -70,7 +70,7 @@ func TestParallelMatchesSerialFaults(t *testing.T) {
 			}
 			for _, w := range []int{1, 4} {
 				t.Run(fmt.Sprintf("%s/%s/w%d", fc.name, alg.name, w), func(t *testing.T) {
-					if par := run(w); !reflect.DeepEqual(serial, par) {
+					if par := run(w); !reflect.DeepEqual(stripEngine(serial), stripEngine(par)) {
 						t.Errorf("degraded parallel result diverges from serial\nserial:   %+v\nparallel: %+v", serial, par)
 					}
 				})
@@ -114,7 +114,7 @@ func TestFaultAwareMatchesSerial(t *testing.T) {
 			serial.Drops, serial.Report.Cells)
 	}
 	for _, w := range []int{1, 4} {
-		if par := run(w); !reflect.DeepEqual(serial, par) {
+		if par := run(w); !reflect.DeepEqual(stripEngine(serial), stripEngine(par)) {
 			t.Errorf("workers=%d: faultaware result diverges from serial", w)
 		}
 	}

@@ -82,9 +82,16 @@ type Options struct {
 	// bit-identical across all settings; Run forwards the value to
 	// fabric.Config.Workers when the config leaves it zero.
 	Workers int
-	// FastForward opts into the quiescence fast-forward: when no cell is
-	// pending at any input, no arrival or fault event is due, and the
-	// demultiplexing algorithm certifies idle-invariance
+	// Engine selects the slot-execution core (see the Engine constants).
+	// The zero value, EngineAuto, runs the event-driven core whenever the
+	// run qualifies and the stepped core otherwise; every choice is
+	// bit-identical, and Result.Engine/Result.EngineReason record what
+	// actually ran and why a request was degraded.
+	Engine Engine
+	// FastForward opts into the quiescence fast-forward under
+	// EngineStepped (and EngineAuto runs that fall back to stepped): when
+	// no cell is pending at any input, no arrival or fault event is due,
+	// and the demultiplexing algorithm certifies idle-invariance
 	// (demux.IdleInvariant), the engine drains the remaining mux backlog
 	// with reduced micro-steps and then jumps the clock to the next event in
 	// one step, synthesizing the probe samples the stepped engine would have
@@ -92,7 +99,8 @@ type Options struct {
 	// drop counters, RQD statistics and violations included. Runs with a
 	// Tracer (the event stream is inherently per-slot), a source without
 	// traffic.Lookahead, or a non-certifying algorithm (the stale-info
-	// family) silently fall back to stepping every slot.
+	// family) fall back to stepping every slot, recording the reason in
+	// Result.EngineReason.
 	FastForward bool
 	// OnFastForward, if non-nil, observes every idle jump as the half-open
 	// elided interval [from, to). It is a callback rather than a Result
@@ -126,6 +134,16 @@ type Result struct {
 	// DropCount fault policy (0 under Abort); Report.DropsPerPlane and
 	// Report.DropsPerInput break it down.
 	Drops uint64
+	// Engine records the slot-execution core that actually ran: "stepped",
+	// "fastforward" or "event". All cores produce identical measurements,
+	// so tests comparing engines normalize these two fields away.
+	Engine string
+	// EngineReason is empty when the requested engine (or, under
+	// EngineAuto, the event core) ran, and otherwise explains the
+	// degradation — e.g. a tracer pinning the run to the stepped core, or a
+	// stale-information algorithm that cannot certify idle elision. CLIs
+	// surface it so users asking for elision learn they ran stepped.
+	EngineReason string
 }
 
 // Run executes src through a fresh PPS built from cfg and factory, and
@@ -212,6 +230,291 @@ func (v *slotView) FrontRQD() (int64, bool)   { return int64(v.rqd), v.rqdOK }
 func (v *slotView) LivePlanes() int           { return v.pps.LivePlanes() }
 func (v *slotView) DroppedTotal() uint64      { return v.pps.Dropped() }
 
+// driver bundles the per-run state shared by the slot-execution cores
+// (runStepped, runEvent) and Drive's teardown: both switches, the stamper,
+// the recorder, the probe view, the telemetry sinks and the reusable
+// scratch buffers. Exactly one core runs per driver.
+type driver struct {
+	pps     *fabric.PPS
+	sh      *shadow.Switch
+	src     traffic.Source
+	opts    *Options
+	end     cell.Time
+	st      *cell.Stamper
+	rec     *metrics.Recorder
+	vd      *traffic.Validator
+	probing bool
+	view    *slotView
+	tel     *obs.Telemetry
+	telPrev *obs.DelaySet
+	look    traffic.Lookahead
+
+	buf                    []traffic.Arrival
+	deps, shDeps, cellsBuf []cell.Cell
+	// slot is where the core stopped: the first slot after both switches
+	// drained, or MaxSlots.
+	slot cell.Time
+}
+
+// feedSlot reads, validates and stamps slot t's arrivals into the reusable
+// cell buffer. Both switches copy cells into their own queues, so the
+// scratch slice is safe to reuse across slots.
+func (d *driver) feedSlot(t cell.Time) ([]cell.Cell, error) {
+	cells := d.cellsBuf[:0]
+	d.buf = d.src.Arrivals(t, d.buf[:0])
+	if d.vd != nil {
+		if err := d.vd.Observe(t, d.buf); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range d.buf {
+		cells = append(cells, d.st.Stamp(cell.Flow{In: a.In, Out: a.Out}, t))
+	}
+	d.cellsBuf = cells
+	return cells, nil
+}
+
+// recordDepartures feeds the slot's PPS departures and drops into the
+// recorder (and the caller's observer). Only the driving goroutine touches
+// the recorder, in the serial order: PPS departures, drops, then shadow
+// departures.
+func (d *driver) recordDepartures() {
+	for _, c := range d.deps {
+		d.rec.PPSDepart(c)
+		if d.opts.OnPPSDepart != nil {
+			d.opts.OnPPSDepart(c)
+		}
+	}
+	for _, c := range d.pps.SlotDrops() {
+		d.rec.PPSDrop(c)
+	}
+}
+
+// sampleSlot samples every probe after the mux phase of slot t (all pulls
+// and departures applied), so series align with departure-time accounting —
+// see DESIGN.md §7.
+func (d *driver) sampleSlot(t cell.Time) {
+	d.view.slot = t
+	d.view.rqd, d.view.rqdOK = 0, false
+	for _, c := range d.deps {
+		if q, ok := d.rec.RQD(c.Seq); ok && (!d.view.rqdOK || q > d.view.rqd) {
+			d.view.rqd, d.view.rqdOK = q, true
+		}
+	}
+	for _, pb := range d.opts.Probes {
+		pb.Sample(d.view)
+	}
+}
+
+// runStepped is the historical slot-by-slot core, optionally (elide) with
+// the PR-5 quiescence fast-forward; selectEngine guarantees elide is only
+// set when the run qualifies (d.look non-nil, IdleInvariant certified, no
+// tracer). It is the oracle the other cores are equivalence-tested against.
+func (d *driver) runStepped(elide bool) error {
+	pps, sh, opts, end := d.pps, d.sh, d.opts, d.end
+
+	// Overlapped shadow pipeline: with Workers != 0 the shadow switch
+	// steps on its own persistent goroutine while the PPS steps on this
+	// one. Both only read the slot's stamped cells; the recorder is fed
+	// exclusively from this goroutine, in the serial order (PPS departures
+	// first, then shadow departures), after the slot-end synchronization —
+	// so results stay bit-identical to the serial loop. The channels are
+	// buffered so the per-slot handoff never allocates or blocks the
+	// worker on send.
+	overlap := opts.Workers != 0
+	var shadowIn chan shadowSlot
+	var shadowOut chan []cell.Cell
+	if overlap {
+		shadowIn = make(chan shadowSlot, 1)
+		shadowOut = make(chan []cell.Cell, 1)
+		go func() {
+			var out []cell.Cell
+			for job := range shadowIn {
+				out = sh.Step(job.t, job.cells, out[:0])
+				shadowOut <- out
+			}
+		}()
+		defer close(shadowIn)
+	}
+
+	var err error
+	slot := cell.Time(0)
+	for ; slot < opts.MaxSlots; slot++ {
+		if slot >= end && pps.Drained() && sh.Drained() {
+			break
+		}
+		// Quiescence detection: with no cell pending at any input and no
+		// arrival or fault event due this slot, the arrival, demux, audit
+		// and fault stages are provable no-ops. If both switches are also
+		// fully drained nothing at all can move before the next event, so
+		// the clock jumps there in one step; otherwise the slot runs as a
+		// reduced drain micro-step (mux stage only, busy outputs only).
+		drain := false
+		if elide && pps.PendingTotal() == 0 {
+			na := cell.None
+			if slot < end {
+				na = d.look.NextArrival(slot - 1)
+				if na != cell.None && na >= end {
+					na = cell.None // beyond the horizon: never fed
+				}
+			}
+			if na != slot && pps.NextFaultSlot() != slot {
+				if pps.Drained() && sh.Drained() {
+					// Idle jump. slot < end here (the loop would have
+					// terminated above otherwise), and the next arrival and
+					// fault slots are strictly ahead, so until > slot.
+					until := opts.MaxSlots
+					if end < until {
+						until = end
+					}
+					if na != cell.None && na < until {
+						until = na
+					}
+					if nf := pps.NextFaultSlot(); nf != cell.None && nf < until {
+						until = nf
+					}
+					if d.probing {
+						sampleIdleSpan(opts.Probes, d.view, slot, until)
+					}
+					if opts.OnFastForward != nil {
+						opts.OnFastForward(slot, until)
+					}
+					slot = until - 1 // loop post-increment resumes at until
+					continue
+				}
+				drain = true
+			}
+		}
+		cells := d.cellsBuf[:0]
+		if !drain && slot < end {
+			if cells, err = d.feedSlot(slot); err != nil {
+				return err
+			}
+		}
+		if overlap {
+			shadowIn <- shadowSlot{t: slot, cells: cells}
+		}
+		if drain {
+			d.deps, err = pps.DrainStep(slot, d.deps[:0])
+		} else {
+			d.deps, err = pps.Step(slot, cells, d.deps[:0])
+		}
+		if err != nil {
+			return err
+		}
+		d.recordDepartures()
+		if overlap {
+			// Slot-end synchronization: the worker hands back its own
+			// departure buffer; it will not touch it again until the next
+			// shadowIn send, which happens only after this goroutine is
+			// done reading (and after cells is rebuilt next iteration).
+			d.shDeps = <-shadowOut
+		} else {
+			d.shDeps = sh.Step(slot, cells, d.shDeps[:0])
+		}
+		for _, c := range d.shDeps {
+			d.rec.ShadowDepart(c)
+		}
+		if d.probing {
+			d.sampleSlot(slot)
+		}
+		if d.tel != nil {
+			d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops())
+			if slot%telemetryFlushStride == 0 {
+				d.tel.ObserveDelays(d.rec.Delays(), d.telPrev)
+			}
+		}
+	}
+	d.slot = slot
+	return nil
+}
+
+// runEvent is the event-driven core: cost is O(events), not O(slots).
+// While anything is in flight, slots execute through fabric.EventStep —
+// which itself only touches the pending inputs and busy outputs, advancing
+// busy outputs independently of idle ones — and when both switches are
+// fully quiet the clock jumps in one step to the next event: the source's
+// next arrival (served by the memoized lookahead feed), the next fault due
+// time, or the horizon, whichever comes first. Probe samples for elided
+// spans are synthesized exactly as the fast-forward path does, so results
+// are bit-identical to runStepped. selectEngine guarantees the
+// preconditions: serial run, no tracer, Lookahead source, IdleInvariant
+// algorithm.
+func (d *driver) runEvent() error {
+	pps, sh, opts, end := d.pps, d.sh, d.opts, d.end
+	feed := traffic.NewEventFeed(d.look)
+	executed := cell.Time(0)
+	var err error
+	slot := cell.Time(0)
+	for ; slot < opts.MaxSlots; slot++ {
+		if slot >= end && pps.Drained() && sh.Drained() {
+			break
+		}
+		if pps.Backlog() == 0 && sh.Drained() {
+			// Fully quiet (the O(1) backlog counter makes this check free):
+			// nothing can move before the next arrival or fault, so unless
+			// one is due this very slot, jump. slot < end here — otherwise
+			// the loop would have terminated above — so the feed query is
+			// within the monotone-consumption contract.
+			na := feed.Next(slot - 1)
+			if na != cell.None && na >= end {
+				na = cell.None // beyond the horizon: never fed
+			}
+			nf := pps.NextFaultSlot()
+			if na != slot && nf != slot {
+				until := opts.MaxSlots
+				if end < until {
+					until = end
+				}
+				if na != cell.None && na < until {
+					until = na
+				}
+				if nf != cell.None && nf < until {
+					until = nf
+				}
+				if d.probing {
+					sampleIdleSpan(opts.Probes, d.view, slot, until)
+				}
+				if opts.OnFastForward != nil {
+					opts.OnFastForward(slot, until)
+				}
+				slot = until - 1 // loop post-increment resumes at until
+				continue
+			}
+		}
+		cells := d.cellsBuf[:0]
+		if slot < end {
+			if cells, err = d.feedSlot(slot); err != nil {
+				return err
+			}
+		}
+		d.deps, err = pps.EventStep(slot, cells, d.deps[:0])
+		if err != nil {
+			return err
+		}
+		d.recordDepartures()
+		d.shDeps = sh.Step(slot, cells, d.shDeps[:0])
+		for _, c := range d.shDeps {
+			d.rec.ShadowDepart(c)
+		}
+		if d.probing {
+			d.sampleSlot(slot)
+		}
+		if d.tel != nil {
+			d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops())
+			// Flush cadence counts executed slots, not wall-clock slots: a
+			// mostly-elided run would otherwise flush on almost every
+			// executed slot (or never), defeating the coarse stride.
+			if executed%telemetryFlushStride == 0 {
+				d.tel.ObserveDelays(d.rec.Delays(), d.telPrev)
+			}
+			executed++
+		}
+	}
+	d.slot = slot
+	return nil
+}
+
 // Drive is Run against an existing PPS (so callers can inject plane
 // failures or inspect internals afterwards). The PPS must be fresh (slot -1):
 // per-run accounting (output utilization windows, peak queues, dispatch
@@ -243,198 +546,58 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 	// Close keeps the fabric inspectable and serially steppable.
 	defer pps.Close()
 	sh := shadow.New(cfg.N)
-	st := cell.NewStamper()
-	rec := metrics.NewRecorder()
-	var vd *traffic.Validator
-	if opts.Validate {
-		vd = traffic.NewValidator(cfg.N)
+	d := &driver{
+		pps:  pps,
+		sh:   sh,
+		src:  src,
+		opts: &opts,
+		end:  end,
+		st:   cell.NewStamper(),
+		rec:  metrics.NewRecorder(),
 	}
-	probing := len(opts.Probes) > 0
-	var view *slotView
-	if probing {
-		view = &slotView{pps: pps, sh: sh}
+	if opts.Validate {
+		d.vd = traffic.NewValidator(cfg.N)
+	}
+	d.probing = len(opts.Probes) > 0
+	if d.probing {
+		d.view = &slotView{pps: pps, sh: sh}
 	}
 
 	// Live telemetry: explicit Options.Telemetry wins, else the process
 	// global. Per-slot ticks are atomic stores; the delay histograms are
 	// delta-flushed every telemetryFlushStride slots (and once at the end),
 	// so the steady-state slot path stays lock- and allocation-free.
-	tel := opts.Telemetry
-	if tel == nil {
-		tel = obs.GlobalTelemetry()
+	d.tel = opts.Telemetry
+	if d.tel == nil {
+		d.tel = obs.GlobalTelemetry()
 	}
-	var telPrev *obs.DelaySet
-	if tel != nil {
-		telPrev = obs.NewDelaySet()
-		tel.RunStarted()
-		defer tel.RunFinished()
-	}
-
-	// Overlapped shadow pipeline: with Workers != 0 the shadow switch
-	// steps on its own persistent goroutine while the PPS steps on this
-	// one. Both only read the slot's stamped cells; the recorder is fed
-	// exclusively from this goroutine, in the serial order (PPS departures
-	// first, then shadow departures), after the slot-end synchronization —
-	// so results stay bit-identical to the serial loop. The channels are
-	// buffered so the per-slot handoff never allocates or blocks the
-	// worker on send.
-	overlap := opts.Workers != 0
-	var shadowIn chan shadowSlot
-	var shadowOut chan []cell.Cell
-	if overlap {
-		shadowIn = make(chan shadowSlot, 1)
-		shadowOut = make(chan []cell.Cell, 1)
-		go func() {
-			var out []cell.Cell
-			for job := range shadowIn {
-				out = sh.Step(job.t, job.cells, out[:0])
-				shadowOut <- out
-			}
-		}()
-		defer close(shadowIn)
+	if d.tel != nil {
+		d.telPrev = obs.NewDelaySet()
+		d.tel.RunStarted()
+		defer d.tel.RunFinished()
 	}
 
-	// Quiescence fast-forward eligibility, decided once per run: an explicit
-	// opt-in, no tracer, a source that can report its next arrival, and an
-	// algorithm certifying that skipping its Slot calls on idle slots is
-	// unobservable (demux.IdleInvariant).
-	ff := opts.FastForward && opts.Tracer == nil
-	var look traffic.Lookahead
-	if ff {
-		look, _ = src.(traffic.Lookahead)
-		ff = look != nil && pps.IdleInvariant()
-	}
-
-	var buf []traffic.Arrival
-	var deps, shDeps, cellsBuf []cell.Cell
+	eng, look, reason := selectEngine(pps, src, opts)
+	d.look = look
 	var err error
-	slot := cell.Time(0)
-	for ; slot < opts.MaxSlots; slot++ {
-		if slot >= end && pps.Drained() && sh.Drained() {
-			break
-		}
-		// Quiescence detection: with no cell pending at any input and no
-		// arrival or fault event due this slot, the arrival, demux, audit
-		// and fault stages are provable no-ops. If both switches are also
-		// fully drained nothing at all can move before the next event, so
-		// the clock jumps there in one step; otherwise the slot runs as a
-		// reduced drain micro-step (mux stage only, busy outputs only).
-		drain := false
-		if ff && pps.PendingTotal() == 0 {
-			na := cell.None
-			if slot < end {
-				na = look.NextArrival(slot - 1)
-				if na != cell.None && na >= end {
-					na = cell.None // beyond the horizon: never fed
-				}
-			}
-			if na != slot && pps.NextFaultSlot() != slot {
-				if pps.Drained() && sh.Drained() {
-					// Idle jump. slot < end here (the loop would have
-					// terminated above otherwise), and the next arrival and
-					// fault slots are strictly ahead, so until > slot.
-					until := opts.MaxSlots
-					if end < until {
-						until = end
-					}
-					if na != cell.None && na < until {
-						until = na
-					}
-					if nf := pps.NextFaultSlot(); nf != cell.None && nf < until {
-						until = nf
-					}
-					if probing {
-						sampleIdleSpan(opts.Probes, view, slot, until)
-					}
-					if opts.OnFastForward != nil {
-						opts.OnFastForward(slot, until)
-					}
-					slot = until - 1 // loop post-increment resumes at until
-					continue
-				}
-				drain = true
-			}
-		}
-		// Both switches copy cells into their own queues, so the scratch
-		// slice is safe to reuse across slots.
-		cells := cellsBuf[:0]
-		if !drain && slot < end {
-			buf = src.Arrivals(slot, buf[:0])
-			if vd != nil {
-				if err := vd.Observe(slot, buf); err != nil {
-					return Result{}, err
-				}
-			}
-			for _, a := range buf {
-				cells = append(cells, st.Stamp(cell.Flow{In: a.In, Out: a.Out}, slot))
-			}
-			cellsBuf = cells
-		}
-		if overlap {
-			shadowIn <- shadowSlot{t: slot, cells: cells}
-		}
-		if drain {
-			deps, err = pps.DrainStep(slot, deps[:0])
-		} else {
-			deps, err = pps.Step(slot, cells, deps[:0])
-		}
-		if err != nil {
-			return Result{}, err
-		}
-		for _, d := range deps {
-			rec.PPSDepart(d)
-			if opts.OnPPSDepart != nil {
-				opts.OnPPSDepart(d)
-			}
-		}
-		// Drops, like departures, are fed to the recorder only from this
-		// goroutine — the overlapped shadow pipeline never touches it.
-		for _, d := range pps.SlotDrops() {
-			rec.PPSDrop(d)
-		}
-		if overlap {
-			// Slot-end synchronization: the worker hands back its own
-			// departure buffer; it will not touch it again until the next
-			// shadowIn send, which happens only after this goroutine is
-			// done reading (and after cells is rebuilt next iteration).
-			shDeps = <-shadowOut
-		} else {
-			shDeps = sh.Step(slot, cells, shDeps[:0])
-		}
-		for _, d := range shDeps {
-			rec.ShadowDepart(d)
-		}
-		if probing {
-			// Probes sample after the mux phase of the slot (all pulls and
-			// departures applied), so series align with departure-time
-			// accounting — see DESIGN.md §7.
-			view.slot = slot
-			view.rqd, view.rqdOK = 0, false
-			for _, d := range deps {
-				if q, ok := rec.RQD(d.Seq); ok && (!view.rqdOK || q > view.rqd) {
-					view.rqd, view.rqdOK = q, true
-				}
-			}
-			for _, pb := range opts.Probes {
-				pb.Sample(view)
-			}
-		}
-		if tel != nil {
-			tel.Tick(int64(slot), pps.Backlog(), rec.Matched(), rec.Drops())
-			if slot%telemetryFlushStride == 0 {
-				tel.ObserveDelays(rec.Delays(), telPrev)
-			}
-		}
+	if eng == EngineEvent {
+		err = d.runEvent()
+	} else {
+		err = d.runStepped(eng == EngineFastForward)
 	}
-	if tel != nil {
-		tel.ObserveDelays(rec.Delays(), telPrev)
-		tel.Tick(int64(slot), pps.Backlog(), rec.Matched(), rec.Drops())
+	if err != nil {
+		return Result{}, err
+	}
+	slot := d.slot
+	if d.tel != nil {
+		d.tel.ObserveDelays(d.rec.Delays(), d.telPrev)
+		d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops())
 	}
 	if !pps.Drained() || !sh.Drained() {
 		return Result{}, fmt.Errorf("harness: not drained after %d slots (pps backlog %d, shadow backlog %d)",
 			slot, pps.Backlog(), sh.Backlog())
 	}
-	if probing && slot > 0 {
+	if d.probing && slot > 0 {
 		// Final-slot flush: stride decimation would otherwise drop the last
 		// executed slot (slot-1, whose state the view still holds), leaving
 		// decimated series ending on pre-drain values. Force one sample per
@@ -444,20 +607,22 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 			for _, s := range pb.Series() {
 				s.ForceNext()
 			}
-			pb.Sample(view)
+			pb.Sample(d.view)
 		}
 	}
 
 	res := Result{
-		Report:         rec.Report(),
+		Report:         d.rec.Report(),
 		PeakPlaneQueue: pps.PeakPlaneQueue(),
 		Slots:          slot,
 		AlgorithmName:  pps.Algorithm().Name(),
 		TraceEvents:    opts.Tracer.Events(),
+		Engine:         eng.String(),
+		EngineReason:   reason,
 	}
 	res.Drops = res.Report.Drops
-	if vd != nil {
-		res.Burstiness = vd.Burstiness()
+	if d.vd != nil {
+		res.Burstiness = d.vd.Burstiness()
 	}
 	if opts.Utilization {
 		res.Utilization = make([]float64, cfg.N)
@@ -465,7 +630,7 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 			res.Utilization[j] = pps.Output(cell.Port(j)).Utilization()
 		}
 	}
-	if probing {
+	if d.probing {
 		res.Series = obs.CollectSeries(opts.Probes)
 	}
 	if m := opts.Metrics; m != nil {

@@ -63,7 +63,7 @@ func TestParallelMatchesSerialMatrix(t *testing.T) {
 			}
 			for _, w := range []int{1, 2, 4, 8} {
 				t.Run(fmt.Sprintf("%s/n%d/w%d", alg.name, n, w), func(t *testing.T) {
-					if par := run(w); !reflect.DeepEqual(serial, par) {
+					if par := run(w); !reflect.DeepEqual(stripEngine(serial), stripEngine(par)) {
 						t.Errorf("parallel result diverges from serial\nserial:   %+v\nparallel: %+v", serial, par)
 					}
 				})

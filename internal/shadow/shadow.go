@@ -25,6 +25,15 @@ import (
 type Switch struct {
 	n      int
 	queues []queue.FIFO[cell.Cell]
+	// active is the sorted list of outputs with a non-empty queue, inSet
+	// marks membership, and added stages the outputs that became non-empty
+	// this slot (merged in before the departure sweep). The sweep then
+	// costs O(backlogged outputs + arrivals) instead of O(N) — at large N
+	// with light load the per-slot walk over empty queues dominated the
+	// whole shadow step.
+	active []cell.Port
+	added  []cell.Port
+	inSet  []bool
 	// Accounting for work-conservation checks and experiment reports.
 	arrived  uint64
 	departed uint64
@@ -36,7 +45,7 @@ func New(n int) *Switch {
 	if n <= 0 {
 		panic(fmt.Sprintf("shadow: invalid port count %d", n))
 	}
-	return &Switch{n: n, queues: make([]queue.FIFO[cell.Cell], n), lastSlot: -1}
+	return &Switch{n: n, queues: make([]queue.FIFO[cell.Cell], n), inSet: make([]bool, n), lastSlot: -1}
 }
 
 // Ports returns N.
@@ -68,17 +77,68 @@ func (s *Switch) Step(t cell.Time, arrivals []cell.Cell, dst []cell.Cell) []cell
 		}
 		s.queues[c.Flow.Out].Push(c)
 		s.arrived++
-	}
-	for j := range s.queues {
-		if s.queues[j].Empty() {
-			continue
+		if !s.inSet[c.Flow.Out] {
+			s.inSet[c.Flow.Out] = true
+			s.added = append(s.added, c.Flow.Out)
 		}
+	}
+	s.merge()
+	// Every active queue is non-empty by construction, so each emits its
+	// head; ascending output order matches the historical full-port walk.
+	keep := s.active[:0]
+	for _, j := range s.active {
 		c := s.queues[j].Pop()
 		c.Depart = t
 		dst = append(dst, c)
 		s.departed++
+		if s.queues[j].Empty() {
+			s.inSet[j] = false
+		} else {
+			keep = append(keep, j)
+		}
 	}
+	s.active = keep
 	return dst
+}
+
+// merge folds the slot's newly non-empty outputs into the sorted active
+// list, allocation-free. Few additions (the steady state) insertion-sort and
+// back-merge in place — the inSet guard guarantees the runs are disjoint;
+// a burst of many additions falls back to a linear rebuild over the port
+// space, which the slot's O(arrivals) work already amortizes.
+func (s *Switch) merge() {
+	add := s.added
+	if len(add) == 0 {
+		return
+	}
+	if len(add) > 32 {
+		s.active = s.active[:0]
+		for j := 0; j < s.n; j++ {
+			if s.inSet[j] {
+				s.active = append(s.active, cell.Port(j))
+			}
+		}
+		s.added = s.added[:0]
+		return
+	}
+	for i := 1; i < len(add); i++ {
+		for k := i; k > 0 && add[k] < add[k-1]; k-- {
+			add[k], add[k-1] = add[k-1], add[k]
+		}
+	}
+	old := len(s.active)
+	s.active = append(s.active, add...)
+	i, k := old-1, len(add)-1
+	for w := len(s.active) - 1; k >= 0; w-- {
+		if i >= 0 && s.active[i] > add[k] {
+			s.active[w] = s.active[i]
+			i--
+		} else {
+			s.active[w] = add[k]
+			k--
+		}
+	}
+	s.added = s.added[:0]
 }
 
 // Backlog reports the number of cells currently queued.

@@ -274,6 +274,16 @@ func (r *Regulator) End() cell.Time {
 	return end
 }
 
+// RegulatorScanHorizon bounds Regulator.NextArrival's slot-by-slot forward
+// scan when the inner source is unbounded (End() == cell.None), offers no
+// Lookahead of its own, and the shaping backlog is empty: past this many
+// silent slots beyond `after` the scan gives up and answers cell.None (see
+// the contract note on Lookahead in lookahead.go). The value matches the
+// harness's default MaxSlots cap, so within any default-length run the
+// capped answer is exact; previously such a source — e.g. a custom
+// zero-rate generator — made the scan loop forever.
+const RegulatorScanHorizon = 1 << 22
+
 // NextArrival implements Lookahead. The scan cannot use a fixed limit — the
 // shaped backlog drains past the inner source's end — so it guards
 // exhaustion explicitly: empty shaping queues plus a provably silent inner
@@ -281,8 +291,9 @@ func (r *Regulator) End() cell.Time {
 // mean no release can ever happen. When the inner source implements
 // Lookahead and the backlog is empty, the scan also jumps straight to the
 // inner's next arrival slot — the slots between cannot release anything.
-// An unbounded inner source without Lookahead must eventually emit for this
-// query to terminate.
+// An unbounded inner source without Lookahead cannot be proved silent, so
+// once the backlog is empty the scan is capped at RegulatorScanHorizon
+// slots past `after` and answers cell.None beyond it.
 func (r *Regulator) NextArrival(after cell.Time) cell.Time {
 	if r.la.pendOK {
 		if r.la.pendSlot > after {
@@ -307,6 +318,8 @@ func (r *Regulator) NextArrival(after cell.Time) cell.Time {
 				if s > t {
 					t = s
 				}
+			} else if r.inner.End() == cell.None && t > after+RegulatorScanHorizon {
+				return cell.None
 			}
 		}
 		r.la.pend = r.release(t, r.la.pend[:0])

@@ -246,3 +246,28 @@ func ExampleLookahead() {
 	fmt.Println(src.NextArrival(-1), src.NextArrival(0), src.NextArrival(149))
 	// Output: 0 50 150
 }
+
+// muteSource is an unbounded source that never emits and offers no
+// Lookahead — the pathological inner source for the Regulator scan cap: it
+// cannot be proved silent, so before the cap existed NextArrival scanned
+// forward forever.
+type muteSource struct{}
+
+func (muteSource) Arrivals(t cell.Time, dst []Arrival) []Arrival { return dst }
+func (muteSource) End() cell.Time                                { return cell.None }
+
+// TestRegulatorNextArrivalScanCap pins the bounded-scan contract: over an
+// unbounded, lookahead-less, never-emitting inner source with an empty
+// shaping backlog, NextArrival answers cell.None after at most
+// RegulatorScanHorizon scanned slots instead of hanging. A finite (non-cap)
+// exit on the same shape — a bounded End — must still answer exactly.
+func TestRegulatorNextArrivalScanCap(t *testing.T) {
+	r := NewRegulator(4, 2, muteSource{})
+	if na := r.NextArrival(-1); na != cell.None {
+		t.Errorf("NextArrival(-1) = %d over a mute unbounded source, want none", na)
+	}
+	// The cap is relative to `after`, so a later query is bounded too.
+	if na := r.NextArrival(1000); na != cell.None {
+		t.Errorf("NextArrival(1000) = %d over a mute unbounded source, want none", na)
+	}
+}

@@ -57,7 +57,23 @@ type (
 	Result = harness.Result
 	// Options tunes a Run.
 	Options = harness.Options
+	// Engine selects the slot-execution core (see EngineAuto et al.).
+	Engine = harness.Engine
 )
+
+// Engine constants, re-exported for Options.Engine: EngineAuto (the zero
+// value) picks the fastest eligible core, the others force one with
+// documented degradation recorded in Result.Engine/Result.EngineReason.
+const (
+	EngineAuto        = harness.EngineAuto
+	EngineStepped     = harness.EngineStepped
+	EngineFastForward = harness.EngineFastForward
+	EngineEvent       = harness.EngineEvent
+)
+
+// ParseEngine maps a CLI flag value ("auto", "stepped", "fastforward",
+// "event") to an Engine.
+func ParseEngine(s string) (Engine, error) { return harness.ParseEngine(s) }
 
 // NoTime is the unset-time sentinel (used as "unbounded" for sources).
 const NoTime = cell.None
