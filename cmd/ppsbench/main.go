@@ -4,16 +4,21 @@
 // engine — and writes a machine-readable BENCH_<rev>.json next to the working
 // directory. The committed BENCH_*.json files seed the repo's perf
 // trajectory: every PR that claims a speedup re-runs the suite and compares
-// slots/sec, allocs/slot, and tail delay (p99/p999 relative queuing delay)
-// against the checked-in baseline (see the "Benchmarking" section of
-// README.md). With -compare, cases regressing beyond -gate percent are
-// flagged; -gate-strict turns the flag into a non-zero exit.
+// slots/sec, cells/sec, allocs/slot, and tail delay (p99/p999 relative
+// queuing delay) against the checked-in baseline (see the "Benchmarking"
+// section of README.md). With -compare, cases whose throughput (slots/sec or
+// cells/sec) drops or whose tail grows beyond -gate percent are flagged;
+// -gate-strict turns the flag into a non-zero exit. -count R runs every case
+// R times and reports the fastest repeat (measurements are deterministic
+// across repeats, so only the wall-clock figures differ — min wall is the
+// least scheduler-noise estimate).
 //
 // Examples:
 //
 //	ppsbench -rev pr2-after              # full suite, BENCH_pr2-after.json
 //	ppsbench -quick -rev ci -out bench   # short suite for CI artifacts
 //	ppsbench -filter bursty/n128         # one case, JSON to stdout too
+//	ppsbench -count 5 -workers -1        # min-of-5, stage-parallel engine
 package main
 
 import (
@@ -52,11 +57,15 @@ type benchResult struct {
 	AllocsPerSlot float64 `json:"allocs_per_slot"`
 	BytesPerSlot  float64 `json:"bytes_per_slot"`
 	MaxRQD        int64   `json:"max_rqd"`
-	// WorkersResolved is the stage-parallel worker count the -workers
-	// request resolved to for this case's N (0 = serial engine). Absent
-	// (zero) in files written before the field existed, which also reads
-	// correctly: those runs were serial.
+	// WorkersResolved is the stage-parallel worker count the run actually
+	// used for this case's N (harness.Result.Workers; 0 = serial engine).
+	// Absent (zero) in files written before the field existed, which also
+	// reads correctly: those runs were serial.
 	WorkersResolved int `json:"workers_resolved,omitempty"`
+	// ShardPorts is the per-worker output-shard width the stage-parallel
+	// engine ran with (harness.Result.ShardPorts) — the geometry behind a
+	// cells/sec figure. Absent for serial runs and pre-schema files.
+	ShardPorts []int `json:"shard_ports,omitempty"`
 	// Drops counts cells lost to injected plane faults (DropCount policy);
 	// absent in fault-free runs.
 	Drops uint64 `json:"drops,omitempty"`
@@ -103,6 +112,9 @@ type benchFile struct {
 	// FastForward echoes the -fastforward flag; absent (false) in stepped
 	// baselines, keeping the schema backward-readable.
 	FastForward bool `json:"fastforward,omitempty"`
+	// Count echoes the -count flag when repeats were requested: each
+	// result is the fastest of Count runs. Absent for single-run files.
+	Count int `json:"count,omitempty"`
 	// Engine echoes the -engine request ("auto" omitted as the default);
 	// the per-case Engine field records what each run actually used.
 	Engine  string        `json:"engine,omitempty"`
@@ -245,7 +257,8 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 		Cells:           res.Report.Cells,
 		WallSeconds:     wall.Seconds(),
 		MaxRQD:          int64(res.Report.MaxRQD),
-		WorkersResolved: ppsim.ResolveWorkers(workers, c.N),
+		WorkersResolved: res.Workers,
+		ShardPorts:      res.ShardPorts,
 		Drops:           res.Drops,
 		SlotsElided:     elided,
 		Engine:          res.Engine,
@@ -292,7 +305,7 @@ func main() {
 	var (
 		rev       = flag.String("rev", "dev", "revision label; output file is BENCH_<rev>.json")
 		outDir    = flag.String("out", ".", "directory to write the JSON report into")
-		filter    = flag.String("filter", "", "run only cases whose name contains this substring")
+		filter    = flag.String("filter", "", "run only cases whose name contains one of these comma-separated substrings")
 		quick     = flag.Bool("quick", false, "short horizons (CI smoke run)")
 		slots     = flag.Int64("slots", 20000, "traffic horizon per case in slots")
 		workers   = flag.Int("workers", 0, "stage-parallel fabric workers: 0 serial, -1 auto, >0 explicit")
@@ -300,11 +313,16 @@ func main() {
 		faultPol  = flag.String("fault-policy", "abort", "degradation policy: abort or dropcount")
 		engineStr = flag.String("engine", "auto", "slot-execution core: auto, stepped, fastforward, event")
 		fastfwd   = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; records slots_elided)")
+		count     = flag.Int("count", 1, "repeats per case; the fastest (minimum wall time) repeat is reported")
 		baseline  = flag.String("compare", "", "print a markdown delta table against this BENCH_<rev>.json baseline")
-		gate      = flag.Float64("gate", 10, "with -compare: flag cases whose slots/sec drop or whose p99/p999 rqd grows by more than this percent (0 disables)")
+		gate      = flag.Float64("gate", 10, "with -compare: flag cases whose slots/sec or cells/sec drop, or whose p99/p999 rqd grows, by more than this percent (0 disables)")
 		strict    = flag.Bool("gate-strict", false, "with -compare: exit 1 when any case trips the -gate threshold (default: warn only)")
 	)
 	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintln(os.Stderr, "ppsbench: -count must be >= 1")
+		os.Exit(2)
+	}
 
 	eng, err := ppsim.ParseEngine(*engineStr)
 	if err != nil {
@@ -355,6 +373,9 @@ func main() {
 		Workers:     *workers,
 		FastForward: *fastfwd,
 	}
+	if *count > 1 {
+		report.Count = *count
+	}
 	if eng != ppsim.EngineAuto {
 		report.Engine = eng.String()
 	}
@@ -363,16 +384,29 @@ func main() {
 		report.FaultPolicy = policy.String()
 	}
 	for _, c := range suite(horizon) {
-		if *filter != "" && !strings.Contains(c.Name, *filter) {
+		if !matchFilter(*filter, c.Name) {
 			continue
 		}
+		// Min-of-count: measurements are deterministic across repeats, so
+		// only the wall-clock figures differ — the fastest repeat is the
+		// least scheduler-noise estimate of the machine's throughput.
 		res, err := run(c, *workers, sched, policy, eng, *fastfwd)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-22s slots=%-8d cells=%-9d %12.0f slots/s %10.1f allocs/slot",
-			res.Name, res.RunSlots, res.Cells, res.SlotsPerSec, res.AllocsPerSlot)
+		for r := 1; r < *count; r++ {
+			again, err := run(c, *workers, sched, policy, eng, *fastfwd)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ppsbench:", err)
+				os.Exit(1)
+			}
+			if again.WallSeconds < res.WallSeconds {
+				res = again
+			}
+		}
+		fmt.Printf("%-22s slots=%-8d cells=%-9d %12.0f slots/s %12.0f cells/s %10.1f allocs/slot",
+			res.Name, res.RunSlots, res.Cells, res.SlotsPerSec, res.CellsPerSec, res.AllocsPerSlot)
 		if res.SlotsElided > 0 {
 			fmt.Printf("  %d elided", res.SlotsElided)
 		}
@@ -422,13 +456,15 @@ func main() {
 }
 
 // printDelta renders a dependency-free benchstat substitute: a markdown
-// table of per-case slots/sec and tail (p99 and p999 rqd) deltas against a
-// committed baseline file. The CI bench-compare job pipes it into the job
-// summary. Cases whose slots/sec drop, or whose p99 or p999 relative queuing
-// delay grows, by more than gatePct percent are marked ⚠ and counted in the
-// return value
-// (gatePct <= 0 disables marking); the caller decides whether a non-zero
-// count is fatal. Only an unreadable baseline is an error.
+// table of per-case slots/sec, cells/sec and tail (p99 and p999 rqd) deltas
+// against a committed baseline file. The CI bench-compare job pipes it into
+// the job summary. Cases whose slots/sec or cells/sec drop, or whose p99 or
+// p999 relative queuing delay grows, by more than gatePct percent are marked
+// ⚠ and counted in the return value (gatePct <= 0 disables marking); the
+// caller decides whether a non-zero count is fatal — the default is a
+// warning, -gate-strict exits non-zero. A baseline without cells/sec data
+// (pre-schema files record 0) renders an em dash and never gates, so old
+// baselines stay comparable. Only an unreadable baseline is an error.
 func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64) (int, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -449,17 +485,31 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64
 			engineLabel(base.Engine), engineLabel(cur.Engine))
 	}
 	flagged := 0
-	fmt.Fprintln(w, "| case | baseline slots/s | new slots/s | delta | allocs/slot (base → new) | p99 rqd (base → new) | p999 rqd (base → new) |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
+	fmt.Fprintln(w, "| case | baseline slots/s | new slots/s | delta | cells/s (base → new) | allocs/slot (base → new) | p99 rqd (base → new) | p999 rqd (base → new) |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|")
 	for _, r := range cur.Results {
 		b, ok := byName[r.Name]
 		if !ok || b.SlotsPerSec == 0 {
-			fmt.Fprintf(w, "| %s | — | %.0f | new | — → %.1f | — → %s | — → %s |\n",
-				r.Name, r.SlotsPerSec, r.AllocsPerSlot, tailCell(r.Percentiles, 99), tailCell(r.Percentiles, 99.9))
+			fmt.Fprintf(w, "| %s | — | %.0f | new | — → %.0f | — → %.1f | — → %s | — → %s |\n",
+				r.Name, r.SlotsPerSec, r.CellsPerSec, r.AllocsPerSlot, tailCell(r.Percentiles, 99), tailCell(r.Percentiles, 99.9))
 			continue
 		}
 		delta := (r.SlotsPerSec/b.SlotsPerSec - 1) * 100
 		trip := gatePct > 0 && delta < -gatePct
+		// Cells/sec gates alongside slots/sec: a batching change can keep the
+		// slot rate flat while halving the cell rate on loaded cases. A zero
+		// baseline (pre-schema file, or a case that moved no cells) renders
+		// an em dash and cannot gate.
+		var cells string
+		if b.CellsPerSec > 0 {
+			cdelta := (r.CellsPerSec/b.CellsPerSec - 1) * 100
+			cells = fmt.Sprintf("%.0f → %.0f (%+.1f%%)", b.CellsPerSec, r.CellsPerSec, cdelta)
+			if gatePct > 0 && cdelta < -gatePct {
+				trip = true
+			}
+		} else {
+			cells = fmt.Sprintf("— → %.0f", r.CellsPerSec)
+		}
 		// Gate both rendered tail columns: a regression that shows only at
 		// p999 (the rarest 0.1% of cells) must flag exactly like one at p99.
 		if gatePct > 0 && b.Percentiles != nil && r.Percentiles != nil &&
@@ -473,12 +523,28 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64
 			mark = " ⚠"
 			flagged++
 		}
-		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s | %.1f → %.1f | %s → %s | %s → %s |\n",
-			r.Name, b.SlotsPerSec, r.SlotsPerSec, delta, mark, b.AllocsPerSlot, r.AllocsPerSlot,
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s | %s | %.1f → %.1f | %s → %s | %s → %s |\n",
+			r.Name, b.SlotsPerSec, r.SlotsPerSec, delta, mark, cells, b.AllocsPerSlot, r.AllocsPerSlot,
 			tailCell(b.Percentiles, 99), tailCell(r.Percentiles, 99),
 			tailCell(b.Percentiles, 99.9), tailCell(r.Percentiles, 99.9))
 	}
 	return flagged, nil
+}
+
+// matchFilter reports whether a case name passes the -filter flag: an empty
+// filter passes everything, otherwise any of the comma-separated substrings
+// may match (so CI can select disjoint cases, e.g.
+// -filter bursty/n512,bursty/n1024).
+func matchFilter(filter, name string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, f := range strings.Split(filter, ",") {
+		if f != "" && strings.Contains(name, f) {
+			return true
+		}
+	}
+	return false
 }
 
 // engineLabel renders a benchFile's Engine field for the config-mismatch

@@ -88,14 +88,19 @@ func writeBaseline(t *testing.T, f benchFile) string {
 
 // TestPrintDeltaTailColumns exercises the delta table: tail columns render
 // both sides, an absent baseline block shows an em dash, and the gate flags
-// (a) a throughput regression, (b) a tail regression at p99, (c) one visible
-// only at p999, and (d) growth past a zero baseline in either column — but
-// not a case that is merely slower within the threshold or one slot of
-// quantization noise above a zero tail.
+// (a) a throughput regression, (b) a cells/sec regression at a flat slot
+// rate, (c) a tail regression at p99, (d) one visible only at p999, and (e)
+// growth past a zero baseline in either tail column — but not a case that is
+// merely slower within the threshold, one slot of quantization noise above a
+// zero tail, or a cells/sec drop against a baseline with no cells/sec data
+// (pre-schema files must never gate on the new column).
 func TestPrintDeltaTailColumns(t *testing.T) {
 	base := benchFile{Rev: "base", Results: []benchResult{
 		{benchCase: benchCase{Name: "fine"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "slow"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "cells"}, SlotsPerSec: 1000, CellsPerSec: 4000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "cellsup"}, SlotsPerSec: 1000, CellsPerSec: 4000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "nocells"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "tail"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "tail999"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "zero99"}, SlotsPerSec: 1000, Percentiles: quantiles(0, 20)},
@@ -106,6 +111,9 @@ func TestPrintDeltaTailColumns(t *testing.T) {
 	cur := benchFile{Rev: "cur", Results: []benchResult{
 		{benchCase: benchCase{Name: "fine"}, SlotsPerSec: 950, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "slow"}, SlotsPerSec: 500, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "cells"}, SlotsPerSec: 1000, CellsPerSec: 2000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "cellsup"}, SlotsPerSec: 1000, CellsPerSec: 8000, Percentiles: quantiles(10, 20)},
+		{benchCase: benchCase{Name: "nocells"}, SlotsPerSec: 1000, CellsPerSec: 500, Percentiles: quantiles(10, 20)},
 		{benchCase: benchCase{Name: "tail"}, SlotsPerSec: 1000, Percentiles: quantiles(30, 60)},
 		{benchCase: benchCase{Name: "tail999"}, SlotsPerSec: 1000, Percentiles: quantiles(10, 60)},
 		{benchCase: benchCase{Name: "zero99"}, SlotsPerSec: 1000, Percentiles: quantiles(2, 20)},
@@ -120,18 +128,21 @@ func TestPrintDeltaTailColumns(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if flagged != 5 {
-		t.Errorf("flagged = %d, want 5 (slow + tail + tail999 + zero99 + zero999)\n%s", flagged, out)
+	if flagged != 6 {
+		t.Errorf("flagged = %d, want 6 (slow + cells + tail + tail999 + zero99 + zero999)\n%s", flagged, out)
 	}
 	for _, want := range []string{
-		"| fine | 1000 | 950 | -5.0% | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
+		"| fine | 1000 | 950 | -5.0% | — → 0 | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
 		"| slow | 1000 | 500 | -50.0% ⚠ |",
-		"| tail | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 10 → 30 | 20 → 60 |",
-		"| tail999 | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 10 → 10 | 20 → 60 |",
-		"| zero99 | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 0 → 2 | 20 → 20 |",
-		"| zero999 | 1000 | 1000 | +0.0% ⚠ | 0.0 → 0.0 | 10 → 10 | 0 → 2 |",
-		"| zerook | 1000 | 1000 | +0.0% | 0.0 → 0.0 | 0 → 1 | 0 → 1 |",
-		"| notail | 1000 | 1000 | +0.0% | 0.0 → 0.0 | — → 5 | — → 9 |",
+		"| cells | 1000 | 1000 | +0.0% ⚠ | 4000 → 2000 (-50.0%) | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
+		"| cellsup | 1000 | 1000 | +0.0% | 4000 → 8000 (+100.0%) | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
+		"| nocells | 1000 | 1000 | +0.0% | — → 500 | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
+		"| tail | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 30 | 20 → 60 |",
+		"| tail999 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 10 | 20 → 60 |",
+		"| zero99 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 0 → 2 | 20 → 20 |",
+		"| zero999 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 10 | 0 → 2 |",
+		"| zerook | 1000 | 1000 | +0.0% | — → 0 | 0.0 → 0.0 | 0 → 1 | 0 → 1 |",
+		"| notail | 1000 | 1000 | +0.0% | — → 0 | 0.0 → 0.0 | — → 5 | — → 9 |",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("delta table missing %q:\n%s", want, out)
@@ -149,6 +160,26 @@ func TestPrintDeltaTailColumns(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "⚠") {
 		t.Error("gate 0 should not mark any row")
+	}
+}
+
+// TestMatchFilter pins the comma-separated -filter semantics CI relies on.
+func TestMatchFilter(t *testing.T) {
+	cases := []struct {
+		filter, name string
+		want         bool
+	}{
+		{"", "bursty/n8/k2", true},
+		{"bursty/n512", "bursty/n512/k8", true},
+		{"bursty/n512,bursty/n1024", "bursty/n1024/k8", true},
+		{"bursty/n512,bursty/n1024", "bursty-low-1m/n1024/k8", false},
+		{"bursty/n512,bursty/n1024", "uniform/n8/k2", false},
+		{",,uniform", "uniform/n8/k2", true},
+	}
+	for _, c := range cases {
+		if got := matchFilter(c.filter, c.name); got != c.want {
+			t.Errorf("matchFilter(%q, %q) = %v, want %v", c.filter, c.name, got, c.want)
+		}
 	}
 }
 
@@ -194,6 +225,38 @@ func TestRunRecordsPercentiles(t *testing.T) {
 	}
 	if res.Engine != "event" || res.EngineReason != "" {
 		t.Errorf("auto run recorded engine %q (%q), want the event core", res.Engine, res.EngineReason)
+	}
+}
+
+// TestRunRecordsShardGeometry pins the new machine-context fields: a
+// stage-parallel run records the resolved worker count and a shard-width
+// vector covering every output-port, while a serial run omits both (so
+// pre-schema JSON diffs stay stable).
+func TestRunRecordsShardGeometry(t *testing.T) {
+	c := benchCase{Name: "t", Traffic: "uniform", N: 64, K: 2, RPrime: 2, Slots: 200, Seed: 1}
+	par, err := run(c, 4, nil, ppsim.FaultAbort, ppsim.EngineAuto, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.WorkersResolved != 4 {
+		t.Errorf("WorkersResolved = %d, want 4", par.WorkersResolved)
+	}
+	total := 0
+	for _, w := range par.ShardPorts {
+		total += w
+	}
+	if len(par.ShardPorts) != 4 || total != c.N {
+		t.Errorf("ShardPorts = %v, want 4 shards covering %d ports", par.ShardPorts, c.N)
+	}
+	ser, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineAuto, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.WorkersResolved != 0 || ser.ShardPorts != nil {
+		t.Errorf("serial run recorded geometry: workers %d, shards %v", ser.WorkersResolved, ser.ShardPorts)
+	}
+	if ser.Cells != par.Cells || ser.MaxRQD != par.MaxRQD {
+		t.Errorf("serial and parallel measurements diverge: %+v vs %+v", ser, par)
 	}
 }
 

@@ -98,9 +98,18 @@ func (c Config) Validate() error {
 
 // PPS is one parallel packet switch instance.
 type PPS struct {
-	cfg      Config
-	alg      demux.Algorithm
-	planes   []*plane.Plane
+	cfg    Config
+	alg    demux.Algorithm
+	planes []*plane.Plane
+	// store is the shared columnar cell arena (DESIGN.md §13): cell bodies
+	// live in per-shard contiguous slabs and the plane queues and output
+	// resequencers hold 32-bit refs into it. A cell is allocated into the
+	// shard that owns its output-port (outShard), because every Free site —
+	// departure at the output, fault drain — runs either in a serial phase
+	// of Step or on the goroutine driving that output's mux shard; the
+	// stage barrier orders the two, so the store needs no atomics.
+	store    *cell.Store
+	outShard []int32
 	inGates  *timing.Matrix // N x K
 	outGates *timing.Matrix // K x N
 	outputs  []*mux.Output
@@ -144,11 +153,13 @@ type PPS struct {
 
 	// lastFlowSeq tracks per-flow order preservation at departure,
 	// sharded per output-port: a flow (in, out) departs only at output
-	// out, so lastFlowSeq[out] — keyed by the input-port alone — is
-	// written by exactly one mux shard. The sharding also keeps each map
-	// at most N entries instead of one N^2-entry map, which measurably
-	// shrinks the serial departure path's map pressure at large N.
-	lastFlowSeq []map[cell.Port]uint64
+	// out, so lastFlowSeq[out] — indexed by the input-port alone — is
+	// written by exactly one mux shard. Each row is a dense next-expected
+	// array (0 = flow unseen, else last departed FlowSeq + 1), lazily
+	// allocated on the output's first departure: an idle output costs
+	// nothing, and an active one replaces the historical per-flow map
+	// lookup on every departure with an array index.
+	lastFlowSeq [][]uint64
 
 	// faults applies the configured schedule; nil when the schedule is
 	// empty, so fault-free runs pay nothing.
@@ -218,7 +229,7 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 		pendingPerIn:       make([]int, cfg.N),
 		seenStamp:          make([]cell.Time, cfg.N),
 		lastSlot:           -1,
-		lastFlowSeq:        make([]map[cell.Port]uint64, cfg.N),
+		lastFlowSeq:        make([][]uint64, cfg.N),
 		dispatchedPerPlane: make([]uint64, cfg.K),
 		pullsPerOut:        make([]int64, cfg.N),
 		queuedPerOut:       make([]int, cfg.N),
@@ -228,17 +239,29 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 	for i := range p.pendingIdx {
 		p.pendingIdx[i] = -1
 	}
-	for j := range p.lastFlowSeq {
-		p.lastFlowSeq[j] = make(map[cell.Port]uint64)
-	}
 	for i := range p.seenStamp {
 		p.seenStamp[i] = cell.None
 	}
+	// The store is sharded by the same output geometry the worker pool
+	// uses, so each mux shard frees only from its own slab; a serial
+	// fabric gets a single shard.
+	workers := ResolveWorkers(cfg.Workers, cfg.N)
+	shards := workers
+	if shards < 1 {
+		shards = 1
+	}
+	p.store = cell.NewStore(shards)
+	p.outShard = make([]int32, cfg.N)
+	for i := 0; i < shards; i++ {
+		for j := i * cfg.N / shards; j < (i+1)*cfg.N/shards; j++ {
+			p.outShard[j] = int32(i)
+		}
+	}
 	for k := 0; k < cfg.K; k++ {
-		p.planes = append(p.planes, plane.New(cell.Plane(k), cfg.N))
+		p.planes = append(p.planes, plane.New(cell.Plane(k), cfg.N, p.store))
 	}
 	for j := 0; j < cfg.N; j++ {
-		p.outputs = append(p.outputs, mux.NewOutput(cell.Port(j), cfg.Mux))
+		p.outputs = append(p.outputs, mux.NewOutput(cell.Port(j), cfg.Mux, p.store, cfg.N))
 	}
 	p.pviews = make([]planeView, cfg.N)
 	for j := range p.pviews {
@@ -260,8 +283,8 @@ func New(cfg Config, makeAlg func(demux.Env) (demux.Algorithm, error)) (*PPS, er
 		return nil, err
 	}
 	p.alg = alg
-	if w := ResolveWorkers(cfg.Workers, cfg.N); w > 0 {
-		p.pool = newWorkerPool(p, w)
+	if workers > 0 {
+		p.pool = newWorkerPool(p, workers)
 	}
 	return p, nil
 }
@@ -355,11 +378,12 @@ func (p *PPS) auditInput(i int) error {
 // violation.
 func (p *PPS) checkFlowOrder(c cell.Cell) error {
 	seqs := p.lastFlowSeq[c.Flow.Out]
-	last, seen := seqs[c.Flow.In]
-	expect := uint64(0)
-	if seen {
-		expect = last + 1
+	if seqs == nil {
+		seqs = make([]uint64, p.cfg.N)
+		p.lastFlowSeq[c.Flow.Out] = seqs
 	}
+	expect := seqs[c.Flow.In]
+	orig := expect
 	if c.FlowSeq != expect && p.dropGaps != nil {
 		// The per-output dropGaps shard is filled in the serial phases and
 		// consumed only here, by the shard that owns output c.Flow.Out.
@@ -371,12 +395,12 @@ func (p *PPS) checkFlowOrder(c cell.Cell) error {
 		}
 	}
 	if c.FlowSeq != expect {
-		if !seen {
+		if orig == 0 {
 			return fmt.Errorf("fabric: flow %v order violated: first departure has FlowSeq %d", c.Flow, c.FlowSeq)
 		}
-		return fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, last)
+		return fmt.Errorf("fabric: flow %v order violated: cell %d departed after %d", c.Flow, c.FlowSeq, orig-1)
 	}
-	seqs[c.Flow.In] = c.FlowSeq
+	seqs[c.Flow.In] = c.FlowSeq + 1
 	return nil
 }
 
@@ -427,11 +451,14 @@ func (p *PPS) applyFaults(t cell.Time) {
 	}
 }
 
-// planeView adapts the center stage for one output's multiplexor.
+// planeView adapts the center stage for one output's multiplexor, speaking
+// the batched mux.PlaneView protocol: one Eligible scan surfaces every
+// pullable plane head for the slot, then one PullBatch (or per-selection
+// Take) seizes the lines and pops the refs — two interface crossings per
+// output-slot for the eager policy instead of four per cell.
 type planeView struct {
 	p *PPS
 	j cell.Port
-	t cell.Time
 	// pulls, when non-nil, receives per-plane pop counts instead of the
 	// plane's own backlog counter being decremented: the sharded mux stage
 	// points it at a worker-local array so concurrent outputs never write
@@ -443,18 +470,55 @@ type planeView struct {
 }
 
 func (v *planeView) Planes() int { return v.p.cfg.K }
-func (v *planeView) Head(k cell.Plane) (cell.Cell, bool) {
-	return v.p.planes[k].Head(v.j)
+
+// Eligible implements mux.PlaneView: ascending plane order, non-empty queue
+// for this output, free output-side line. The Seq comes from one store
+// deref of the head ref; the snapshot stays valid for the whole slot
+// because a Take only busies the taken plane's own line (Seize holds it for
+// r' >= 1 slots) and pops its own head.
+func (v *planeView) Eligible(t cell.Time, dst []mux.Head) []mux.Head {
+	for k := range v.p.planes {
+		r, ok := v.p.planes[k].HeadRef(v.j)
+		if !ok || !v.p.outGates.Gate(k, int(v.j)).Free(t) {
+			continue
+		}
+		dst = append(dst, mux.Head{K: cell.Plane(k), Seq: v.p.store.At(r).Seq})
+	}
+	return dst
 }
-func (v *planeView) Pop(k cell.Plane) cell.Cell {
-	var c cell.Cell
+
+// Take implements mux.PlaneView: seize plane k's line at t and pop its head.
+func (v *planeView) Take(t cell.Time, k cell.Plane) (cell.Ref, error) {
+	if err := v.p.outGates.Gate(int(k), int(v.j)).Seize(t); err != nil {
+		return 0, err
+	}
+	return v.pop(t, k), nil
+}
+
+// PullBatch implements mux.PlaneView: take every listed head in order. On a
+// gate violation the refs popped so far are returned with the error, so the
+// caller can keep them accounted before the run aborts.
+func (v *planeView) PullBatch(t cell.Time, heads []mux.Head, dst []cell.Ref) ([]cell.Ref, error) {
+	for _, h := range heads {
+		if err := v.p.outGates.Gate(int(h.K), int(v.j)).Seize(t); err != nil {
+			return dst, err
+		}
+		dst = append(dst, v.pop(t, h.K))
+	}
+	return dst, nil
+}
+
+// pop removes plane k's head ref for this output and accounts the pull. The
+// cell body is dereferenced only when the event log or tracer is armed.
+func (v *planeView) pop(t cell.Time, k cell.Plane) cell.Ref {
+	var r cell.Ref
 	if v.pulls != nil {
 		// Sharded mux stage: the global plane/output totals are reconciled
 		// by stepSharded after the barrier, alongside the plane backlogs.
-		c = v.p.planes[k].PopDeferred(v.j)
+		r = v.p.planes[k].PopDeferred(v.j)
 		v.pulls[k]++
 	} else {
-		c = v.p.planes[k].Pop(v.j)
+		r = v.p.planes[k].Pop(v.j)
 		v.p.cellsInPlanes--
 		v.p.cellsInOutputs++
 	}
@@ -462,24 +526,21 @@ func (v *planeView) Pop(k cell.Plane) cell.Cell {
 	// it needs no deferral (same ownership argument as pullsPerOut).
 	v.p.queuedPerOut[v.j]--
 	v.p.pullsPerOut[v.j]++
-	if v.p.logArmed {
-		e := demux.Event{T: v.t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k}
-		if v.events != nil {
-			*v.events = append(*v.events, e)
-		} else {
-			v.p.log.Append(e)
+	if v.p.logArmed || v.p.trace {
+		c := v.p.store.At(r)
+		if v.p.logArmed {
+			e := demux.Event{T: t, Kind: demux.EvXmit, In: c.Flow.In, Out: v.j, K: k}
+			if v.events != nil {
+				*v.events = append(*v.events, e)
+			} else {
+				v.p.log.Append(e)
+			}
+		}
+		if v.p.trace {
+			v.p.tracer.Emit(obs.Event{T: t, Kind: obs.EvMuxPull, Seq: c.Seq, In: c.Flow.In, Out: v.j, Plane: k})
 		}
 	}
-	if v.p.trace {
-		v.p.tracer.Emit(obs.Event{T: v.t, Kind: obs.EvMuxPull, Seq: c.Seq, In: c.Flow.In, Out: v.j, Plane: k})
-	}
-	return c
-}
-func (v *planeView) GateFree(k cell.Plane, t cell.Time) bool {
-	return v.p.outGates.Gate(int(k), int(v.j)).Free(t)
-}
-func (v *planeView) SeizeGate(k cell.Plane, t cell.Time) error {
-	return v.p.outGates.Gate(int(k), int(v.j)).Seize(t)
+	return r
 }
 
 // acceptArrivals runs stage 1 of a slot: validate and admit the arrivals,
@@ -557,7 +618,14 @@ func (p *PPS) dispatch(t cell.Time, arrivals []cell.Cell) error {
 				continue
 			}
 		}
-		if err := p.planes[s.Plane].Enqueue(c); err != nil {
+		// The cell body moves into the columnar store here — into the slab
+		// of the shard that owns its output-port — and from this point on
+		// the planes and outputs pass the 32-bit ref around. On a rejected
+		// enqueue the ref is freed so the arena cannot leak on the error
+		// path (audit cross-checks Live against the structural sums).
+		ref := p.store.Put(int(p.outShard[c.Flow.Out]), c)
+		if err := p.planes[s.Plane].Enqueue(ref); err != nil {
+			p.store.Free(ref)
 			return p.violation(t, err)
 		}
 		p.cellsInPlanes++
@@ -646,7 +714,6 @@ func (p *PPS) removePending(in cell.Port) {
 // Step loop, DrainStep and EventStep.
 func (p *PPS) stepOutput(t cell.Time, j cell.Port, dst []cell.Cell) ([]cell.Cell, error) {
 	pv := &p.pviews[j]
-	pv.t = t
 	c, ok, err := p.outputs[j].Step(t, pv)
 	if err != nil {
 		return dst, err
@@ -870,6 +937,9 @@ func (p *PPS) audit() error {
 	if inPlanes != p.cellsInPlanes || inOutputs != p.cellsInOutputs {
 		return fmt.Errorf("fabric: backlog counters drifted: planes hold %d (counter %d), outputs hold %d (counter %d)",
 			inPlanes, p.cellsInPlanes, inOutputs, p.cellsInOutputs)
+	}
+	if live := p.store.Live(); live != inPlanes+inOutputs {
+		return fmt.Errorf("fabric: cell store leaked: %d live refs, planes+outputs hold %d cells", live, inPlanes+inOutputs)
 	}
 	total := uint64(p.pendingTotal+inPlanes+inOutputs) + p.departed + p.dropped
 	if total != p.arrived {

@@ -13,9 +13,10 @@
 //   - In stage 4, output j touches only row j of the departure scratch,
 //     column j of the output-gate matrix, the per-output queues of each
 //     plane (pops deferred from the shared backlog counter), its own
-//     mux.Output, pullsPerOut[j] and lastFlowSeq[j]. Outputs are therefore
-//     independent within a slot, and running them in any order yields the
-//     same per-output outcome as the serial j-ascending loop.
+//     mux.Output, its own columnar-store shard (frees), pullsPerOut[j] and
+//     lastFlowSeq[j]. Outputs are therefore independent within a slot, and
+//     running them in any order yields the same per-output outcome as the
+//     serial j-ascending loop.
 //   - Everything order-sensitive is applied after the barrier by the
 //     stepping goroutine, in the serial loop's order: plane backlog
 //     reconciliation, global-log EvXmit replay (workers buffer events; a
@@ -23,15 +24,26 @@
 //     shard in order, so replaying worker 0..W-1 reproduces the serial
 //     append order), and the departure append into dst in ascending j.
 //
-// The pool is spawned once in New — no per-slot goroutine creation — and
-// every per-slot signal (a job send on a buffered channel, a WaitGroup
-// add/wait) is allocation-free, so the 0-allocs/slot steady-state invariant
-// survives (TestParallelSlotAllocFree pins it).
+// The handoff is lock-free (DESIGN.md §13): each worker owns a cache-line-
+// padded mailbox word holding epoch<<2|job. The coordinator publishes a
+// stage by storing a fresh word into every mailbox; a worker spins briefly
+// on its own word and then parks on a capacity-1 token channel, so an idle
+// pool burns no CPU while a loaded one never enters the scheduler. The
+// epoch makes consecutive words distinct even when the job repeats every
+// slot — without it, two back-to-back jobMux commands would be
+// indistinguishable (ABA) and a worker could miss one. Completion is a
+// single shared countdown: the last finisher hands the coordinator a token.
+// Everything a worker writes (errors, pulls, departures) happens before its
+// atomic countdown decrement, and the coordinator reads only after
+// observing zero, so plain writes suffice for the payload. The pool is
+// spawned once in New — no per-slot goroutine creation, no channel sends or
+// WaitGroup operations per slot — preserving the 0-allocs/slot steady-state
+// invariant (TestParallelSlotAllocFree pins it).
 package fabric
 
 import (
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"ppsim/internal/cell"
 	"ppsim/internal/demux"
@@ -45,7 +57,7 @@ const minShard = 16
 // count: 0 for the serial engine, otherwise the number of pool workers.
 // Explicit positive requests are honored (clamped to N); -1 (auto) derives
 // the count from GOMAXPROCS and N, and falls back to serial when shards
-// would be too small to pay for the barrier.
+// would be too small (under minShard ports each) to pay for the barrier.
 func ResolveWorkers(workers, n int) int {
 	switch {
 	case workers == 0:
@@ -67,28 +79,58 @@ func ResolveWorkers(workers, n int) int {
 	}
 }
 
-// stageJob selects the work a woken worker performs.
-type stageJob uint8
-
+// Mailbox command words are epoch<<jobBits | job.
 const (
-	jobAudit stageJob = iota // stage 3: per-input buffer audit
-	jobMux                   // stage 4: per-output mux pulls and departures
+	jobNone  uint64 = 0 // initial mailbox state, never published
+	jobAudit uint64 = 1 // stage 3: per-input buffer audit
+	jobMux   uint64 = 2 // stage 4: per-output mux pulls and departures
+	jobQuit  uint64 = 3 // terminate the worker
+
+	jobBits = 2
+	jobMask = 1<<jobBits - 1
 )
+
+// workerState is one worker's mailbox, padded so adjacent workers' command
+// words never share a cache line (the coordinator writes all of them
+// back-to-back every stage).
+type workerState struct {
+	// cmd holds epoch<<jobBits | job. The coordinator's atomic store
+	// publishes the stage (and everything written before it, e.g. the
+	// slot t); the worker's atomic load acquires it.
+	cmd atomic.Uint64
+	// park is the worker's parking lot: capacity 1, a token is tossed in
+	// (non-blocking) after every command store in case the worker gave up
+	// spinning. A token left over from a stage the worker caught by
+	// spinning causes at most one spurious wake, re-checked against cmd.
+	park chan struct{}
+	_    [64]byte
+}
 
 // workerPool is the persistent stage-parallel executor of one PPS.
 type workerPool struct {
 	p       *PPS
 	workers int
-	wake    []chan stageJob // one per worker; buffered so sends never block
-	wg      sync.WaitGroup
-	closed  bool
+	ws      []workerState
+	// epoch counts published stages; only the coordinator writes it.
+	epoch uint64
+	// pending counts workers still inside the current stage. The last
+	// finisher (Add hits 0) tosses the coordinator a token.
+	pending   atomic.Int64
+	coordPark chan struct{}
+	// spin is the budget of mailbox re-loads before parking. Zero on a
+	// single-CPU process: spinning there only steals the timeslice the
+	// other side needs to make progress.
+	spin   int
+	closed bool
 
 	// t is the slot being executed, set by the stepping goroutine before
-	// the stage signals (workers only read it while running a stage).
+	// the stage is published (workers only read it while running a stage).
 	t cell.Time
 
 	// Shard bounds: worker w owns inputs [inLo[w], inHi[w]) and outputs
-	// [outLo[w], outHi[w]).
+	// [outLo[w], outHi[w]). The output split matches the columnar store's
+	// shard geometry (PPS.outShard), so worker w frees refs only from
+	// store shard w.
 	inLo, inHi   []int
 	outLo, outHi []int
 
@@ -110,49 +152,113 @@ type workerPool struct {
 func newWorkerPool(p *PPS, w int) *workerPool {
 	n := p.cfg.N
 	pl := &workerPool{
-		p:       p,
-		workers: w,
-		wake:    make([]chan stageJob, w),
-		inLo:    make([]int, w),
-		inHi:    make([]int, w),
-		outLo:   make([]int, w),
-		outHi:   make([]int, w),
-		errs:    make([]error, w),
-		pulls:   make([][]int, w),
-		events:  make([][]demux.Event, w),
-		depCell: make([]cell.Cell, n),
-		depHas:  make([]bool, n),
+		p:         p,
+		workers:   w,
+		ws:        make([]workerState, w),
+		coordPark: make(chan struct{}, 1),
+		inLo:      make([]int, w),
+		inHi:      make([]int, w),
+		outLo:     make([]int, w),
+		outHi:     make([]int, w),
+		errs:      make([]error, w),
+		pulls:     make([][]int, w),
+		events:    make([][]demux.Event, w),
+		depCell:   make([]cell.Cell, n),
+		depHas:    make([]bool, n),
+	}
+	// Spinning is only useful when the coordinator and the workers can
+	// actually run simultaneously: it needs both the scheduler's permission
+	// (GOMAXPROCS) and real hardware parallelism (NumCPU). On a single CPU
+	// a spinning worker merely steals the timeslice the other side needs,
+	// so the budget drops to zero and every wait parks immediately.
+	if runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() > 1 {
+		pl.spin = 2048
 	}
 	for i := 0; i < w; i++ {
 		pl.inLo[i], pl.inHi[i] = i*n/w, (i+1)*n/w
 		pl.outLo[i], pl.outHi[i] = i*n/w, (i+1)*n/w
 		pl.pulls[i] = make([]int, p.cfg.K)
-		pl.wake[i] = make(chan stageJob, 1)
+		pl.ws[i].park = make(chan struct{}, 1)
 		go pl.loop(i)
 	}
 	return pl
 }
 
-// loop is one worker: wait for a stage signal, run the shard, report done.
+// loop is one worker: await the next command word, run the stage over the
+// shard, count down. A worker remembers the last word it executed; any
+// differing word is a fresh command (the epoch guarantees freshness).
 func (pl *workerPool) loop(w int) {
-	for job := range pl.wake[w] {
-		switch job {
+	ws := &pl.ws[w]
+	var last uint64
+	for {
+		word := pl.await(ws, last)
+		last = word
+		switch word & jobMask {
 		case jobAudit:
 			pl.auditShard(w)
 		case jobMux:
 			pl.muxShard(w)
+		case jobQuit:
+			pl.finish()
+			return
 		}
-		pl.wg.Done()
+		pl.finish()
 	}
 }
 
-// runStage signals every worker and blocks until the stage barrier.
-func (pl *workerPool) runStage(job stageJob) {
-	pl.wg.Add(pl.workers)
-	for _, ch := range pl.wake {
-		ch <- job
+// await returns the next command word differing from last: spin on the
+// mailbox up to the budget, then park on the token channel and re-check.
+func (pl *workerPool) await(ws *workerState, last uint64) uint64 {
+	for i := 0; i < pl.spin; i++ {
+		if word := ws.cmd.Load(); word != last {
+			return word
+		}
 	}
-	pl.wg.Wait()
+	for {
+		if word := ws.cmd.Load(); word != last {
+			return word
+		}
+		<-ws.park
+	}
+}
+
+// finish counts this worker out of the stage; the last one wakes the
+// coordinator. The atomic decrement orders every preceding plain write
+// (errs, pulls, events, departures, store frees) before the coordinator's
+// read of pending == 0.
+func (pl *workerPool) finish() {
+	if pl.pending.Add(-1) == 0 {
+		select {
+		case pl.coordPark <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// runStage publishes a stage to every worker and blocks until all have
+// counted out. Must only be called by the goroutine driving Step.
+func (pl *workerPool) runStage(job uint64) {
+	pl.epoch++
+	word := pl.epoch<<jobBits | job
+	pl.pending.Store(int64(pl.workers))
+	for i := range pl.ws {
+		ws := &pl.ws[i]
+		ws.cmd.Store(word)
+		select {
+		case ws.park <- struct{}{}:
+		default:
+		}
+	}
+	for i := 0; i < pl.spin; i++ {
+		if pl.pending.Load() == 0 {
+			return
+		}
+	}
+	// A token left in coordPark by a stage we caught spinning is consumed
+	// here and re-checked — at most one spurious pass per stage.
+	for pl.pending.Load() != 0 {
+		<-pl.coordPark
+	}
 }
 
 // firstErr returns the first recorded shard error in shard order — the
@@ -183,7 +289,6 @@ func (pl *workerPool) muxShard(w int) {
 	pl.errs[w] = nil
 	for j := pl.outLo[w]; j < pl.outHi[w]; j++ {
 		pv := &p.pviews[j]
-		pv.t = pl.t
 		pv.pulls = pl.pulls[w]
 		if p.logArmed {
 			pv.events = &pl.events[w]
@@ -245,7 +350,7 @@ func (p *PPS) stepSharded(t cell.Time, dst []cell.Cell) ([]cell.Cell, error) {
 	}
 	// Every deferred pop moved one cell from a plane to an output buffer;
 	// the per-output queuedPerOut deltas were applied inline by the owning
-	// shards (planeView.Pop), only the global totals are deferred here.
+	// shards (planeView.pop), only the global totals are deferred here.
 	p.cellsInPlanes -= totalPulls
 	p.cellsInOutputs += totalPulls
 	if p.logArmed {
@@ -279,7 +384,23 @@ func (p *PPS) Workers() int {
 	return p.pool.workers
 }
 
-// Close stops the worker pool's goroutines. It is safe to call on a serial
+// ShardPorts reports the per-worker output-shard widths of the stage-
+// parallel engine: element w is the number of output-ports (and columnar-
+// store slab) worker w owns. Nil for the serial engine. Allocates; meant
+// for run metadata (harness.Result), not the hot path.
+func (p *PPS) ShardPorts() []int {
+	if p.pool == nil {
+		return nil
+	}
+	out := make([]int, p.pool.workers)
+	for w := range out {
+		out[w] = p.pool.outHi[w] - p.pool.outLo[w]
+	}
+	return out
+}
+
+// Close stops the worker pool's goroutines (a jobQuit broadcast; the barrier
+// waits for every worker to exit its loop). It is safe to call on a serial
 // fabric and more than once; after Close, Step keeps working through the
 // serial engine (bit-identical results), so callers that outlive a run —
 // harness.Drive closes the pool when a run finishes — can still inspect or
@@ -289,7 +410,5 @@ func (p *PPS) Close() {
 		return
 	}
 	p.pool.closed = true
-	for _, ch := range p.pool.wake {
-		close(ch)
-	}
+	p.pool.runStage(jobQuit)
 }

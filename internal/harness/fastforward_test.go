@@ -47,9 +47,11 @@ var ffShapes = []struct {
 
 // stripEngine zeroes the engine-metadata fields so equivalence tests can
 // DeepEqual Results produced by different engines: the measurements must be
-// bit-identical, the record of which core ran intentionally differs.
+// bit-identical, while the record of which core ran — and with how many
+// workers over which shard geometry — intentionally differs.
 func stripEngine(r Result) Result {
 	r.Engine, r.EngineReason = "", ""
+	r.Workers, r.ShardPorts = 0, nil
 	return r
 }
 

@@ -76,11 +76,16 @@ type Options struct {
 	// Workers engages the stage-parallel engines: 0 (the default) runs
 	// everything serially, -1 picks a fabric worker count from GOMAXPROCS
 	// and N (fabric.ResolveWorkers), and a positive value uses exactly
-	// that many fabric workers. Any non-zero value also overlaps the
-	// shadow-switch step with the PPS step inside Drive (both consume the
-	// same arrival stream and synchronize at slot end). Results are
-	// bit-identical across all settings; Run forwards the value to
-	// fabric.Config.Workers when the config leaves it zero.
+	// that many fabric workers (clamped to N). Auto mode enforces a floor
+	// of 16 output-ports per shard and falls back to serial below it —
+	// the per-slot stage barrier costs more than such small shards save —
+	// so -1 on a small switch can legitimately resolve to 0; an explicit
+	// positive request bypasses the floor. Result.Workers and
+	// Result.ShardPorts record what actually ran. Any non-zero value also
+	// overlaps the shadow-switch step with the PPS step inside Drive (both
+	// consume the same arrival stream and synchronize at slot end).
+	// Results are bit-identical across all settings; Run forwards the
+	// value to fabric.Config.Workers when the config leaves it zero.
 	Workers int
 	// Engine selects the slot-execution core (see the Engine constants).
 	// The zero value, EngineAuto, runs the event-driven core whenever the
@@ -144,6 +149,18 @@ type Result struct {
 	// stale-information algorithm that cannot certify idle elision. CLIs
 	// surface it so users asking for elision learn they ran stepped.
 	EngineReason string
+	// Workers records the effective stage-parallel worker count the fabric
+	// resolved for the run (0 = serial engine). Note that Options.Workers
+	// is a request: -1 (auto) derives the count from GOMAXPROCS and N and
+	// falls back to serial when shards would hold fewer than 16 ports
+	// (fabric.ResolveWorkers). Like Engine, tests comparing engine
+	// configurations normalize this field (and ShardPorts) away.
+	Workers int
+	// ShardPorts is the per-worker output-shard width of the stage-parallel
+	// engine — ShardPorts[w] output-ports (and one columnar-store slab) per
+	// worker w — or nil for the serial engine. Recorded so benchmark JSON
+	// can attribute throughput to the shard geometry that produced it.
+	ShardPorts []int
 }
 
 // Run executes src through a fresh PPS built from cfg and factory, and
@@ -619,6 +636,8 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		TraceEvents:    opts.Tracer.Events(),
 		Engine:         eng.String(),
 		EngineReason:   reason,
+		Workers:        pps.Workers(),
+		ShardPorts:     pps.ShardPorts(),
 	}
 	res.Drops = res.Report.Drops
 	if d.vd != nil {

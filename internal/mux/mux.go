@@ -14,6 +14,12 @@
 //     internal capacity to the external line).
 //   - LazyFCFS: every slot, pull only the globally-earliest head among the
 //     planes whose line is free (one pull per slot).
+//
+// Cells are addressed by cell.Ref into the shared columnar cell.Store
+// (DESIGN.md §13): the view hands the policies a batch of eligible plane
+// heads in one call, the policy takes the refs it wants in one call, and
+// the resequencing heaps order {key, ref} pairs without touching the cell
+// bodies.
 package mux
 
 import (
@@ -23,21 +29,36 @@ import (
 	"ppsim/internal/queue"
 )
 
+// Head is one eligible plane head as reported by PlaneView.Eligible: the
+// plane and the global sequence number of its head cell (the only field the
+// pull policies order by).
+type Head struct {
+	K   cell.Plane
+	Seq uint64
+}
+
 // PlaneView is the fabric-provided view of the center stage restricted to
 // one output-port: the per-plane queues destined to that output and the
-// output-side line gates.
+// output-side line gates. The protocol is batched: one Eligible call per
+// slot surfaces every pullable head, then one Take (or a single PullBatch)
+// per selection — two interface crossings per output-slot for the eager
+// policy instead of four per cell.
 type PlaneView interface {
 	// Planes returns K.
 	Planes() int
-	// Head returns the head cell of plane k's queue for this output.
-	Head(k cell.Plane) (cell.Cell, bool)
-	// Pop removes and returns that head cell.
-	Pop(k cell.Plane) cell.Cell
-	// GateFree reports whether the (k, output) line may start a
-	// transmission at slot t.
-	GateFree(k cell.Plane, t cell.Time) bool
-	// SeizeGate marks the (k, output) line busy for r' slots from t.
-	SeizeGate(k cell.Plane, t cell.Time) error
+	// Eligible appends, in ascending plane order, a Head for every plane
+	// whose queue for this output is non-empty and whose output-side line
+	// is free at slot t.
+	Eligible(t cell.Time, dst []Head) []Head
+	// Take seizes plane k's line at t and pops its head ref. Within one
+	// slot a plane can be taken at most once (the seize holds the line for
+	// r' >= 1 slots), so the Eligible set never goes stale mid-slot except
+	// for the entries already taken.
+	Take(t cell.Time, k cell.Plane) (cell.Ref, error)
+	// PullBatch takes every listed head in order, appending the popped
+	// refs to dst. On a gate violation it returns the refs taken so far
+	// together with the error; the caller still owns those refs.
+	PullBatch(t cell.Time, heads []Head, dst []cell.Ref) ([]cell.Ref, error)
 }
 
 // Policy selects which plane queues to drain each slot.
@@ -54,21 +75,20 @@ type Eager struct{}
 // Name implements Policy.
 func (Eager) Name() string { return "eager" }
 
-// Pull implements Policy.
+// Pull implements Policy: every eligible head is taken, in ascending plane
+// order, in a single batch.
 func (Eager) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
-	for k := 0; k < pv.Planes(); k++ {
-		kp := cell.Plane(k)
-		if _, ok := pv.Head(kp); !ok || !pv.GateFree(kp, t) {
-			continue
-		}
-		if err := pv.SeizeGate(kp, t); err != nil {
-			return err
-		}
-		c := pv.Pop(kp)
-		c.AtOutput = t
-		buf.Push(c)
+	heads := pv.Eligible(t, buf.heads[:0])
+	buf.heads = heads
+	if len(heads) == 0 {
+		return nil
 	}
-	return nil
+	refs, err := pv.PullBatch(t, heads, buf.refs[:0])
+	buf.refs = refs
+	// Push whatever was taken even on error, so every popped cell is
+	// accounted in the buffer before the violation aborts the run.
+	buf.PushBatch(t, refs)
+	return err
 }
 
 // BoundedEager pulls at most Max cells per slot, earliest heads first — the
@@ -84,33 +104,35 @@ type BoundedEager struct {
 // Name implements Policy.
 func (p BoundedEager) Name() string { return fmt.Sprintf("bounded-eager-%d", p.Max) }
 
-// Pull implements Policy.
+// Pull implements Policy. One Eligible scan suffices: a take only busies
+// the taken plane's own line and pops its own head, so the remaining
+// entries stay eligible — selecting the minimum-Seq survivor per round over
+// the snapshot is exactly the historical rescan loop.
 func (p BoundedEager) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
 	if p.Max < 1 {
 		return fmt.Errorf("mux: bounded-eager budget must be >= 1, got %d", p.Max)
 	}
+	heads := pv.Eligible(t, buf.heads[:0])
+	buf.heads = heads
 	for pulled := 0; pulled < p.Max; pulled++ {
-		best := cell.Plane(-1)
-		var bestSeq uint64
-		for k := 0; k < pv.Planes(); k++ {
-			kp := cell.Plane(k)
-			h, ok := pv.Head(kp)
-			if !ok || !pv.GateFree(kp, t) {
-				continue
+		best := -1
+		for i := range heads {
+			if heads[i].K < 0 {
+				continue // already taken this slot
 			}
-			if best < 0 || h.Seq < bestSeq {
-				best, bestSeq = kp, h.Seq
+			if best < 0 || heads[i].Seq < heads[best].Seq {
+				best = i
 			}
 		}
 		if best < 0 {
 			return nil
 		}
-		if err := pv.SeizeGate(best, t); err != nil {
+		r, err := pv.Take(t, heads[best].K)
+		if err != nil {
 			return err
 		}
-		c := pv.Pop(best)
-		c.AtOutput = t
-		buf.Push(c)
+		heads[best].K = -1
+		buf.Push(t, r)
 	}
 	return nil
 }
@@ -124,27 +146,22 @@ func (LazyFCFS) Name() string { return "lazy-fcfs" }
 
 // Pull implements Policy.
 func (LazyFCFS) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
-	best := cell.Plane(-1)
-	var bestSeq uint64
-	for k := 0; k < pv.Planes(); k++ {
-		kp := cell.Plane(k)
-		h, ok := pv.Head(kp)
-		if !ok || !pv.GateFree(kp, t) {
-			continue
-		}
-		if best < 0 || h.Seq < bestSeq {
-			best, bestSeq = kp, h.Seq
+	heads := pv.Eligible(t, buf.heads[:0])
+	buf.heads = heads
+	best := -1
+	for i := range heads {
+		if best < 0 || heads[i].Seq < heads[best].Seq {
+			best = i
 		}
 	}
 	if best < 0 {
 		return nil
 	}
-	if err := pv.SeizeGate(best, t); err != nil {
+	r, err := pv.Take(t, heads[best].K)
+	if err != nil {
 		return err
 	}
-	c := pv.Pop(best)
-	c.AtOutput = t
-	buf.Push(c)
+	buf.Push(t, r)
 	return nil
 }
 
@@ -156,44 +173,96 @@ func (LazyFCFS) Pull(t cell.Time, pv PlaneView, buf *Buffer) error {
 // switch earliest (global FCFS, matching the reference discipline). The
 // waiting this induces is genuine resequencing delay and is charged to the
 // PPS, as the paper's relative-delay accounting requires.
+//
+// Every flow that can reach an output shares that output, so flow state is
+// keyed by the input-port alone: next and parked are dense arrays indexed
+// by In, lazily allocated on the output's first cell — an output that never
+// sees traffic costs nothing, and an active one replaces the historical
+// per-flow map lookups (and their steady growth) with array indexing.
 type Buffer struct {
-	emittable *queue.Heap[cell.Cell]           // ordered by Seq (global FCFS)
-	parked    map[cell.Flow]*queue.Heap[cell.Cell] // ordered by FlowSeq
-	next      map[cell.Flow]uint64                 // next FlowSeq the output may emit
+	s *cell.Store
+	n int // ports: bounds the In index space
+
+	emittable *queue.Heap[entry]   // keyed by Seq (global FCFS)
+	parked    []*queue.Heap[entry] // [In], keyed by FlowSeq
+	next      []uint64             // [In]: next FlowSeq the output may emit
 	parkedLen int
 	// skips holds per-flow FlowSeqs the fabric reported dropped (failed
 	// planes, DropCount policy): a parked cell must not wait forever for a
 	// predecessor that will never be delivered. Min-heaps, because two
 	// planes failing in turn can drop a flow's cells out of FlowSeq order.
 	// Nil until the first Skip, so fault-free runs never touch it.
-	skips map[cell.Flow]*queue.Heap[uint64]
+	skips map[cell.Port]*queue.Heap[uint64]
+
+	// heads and refs are the pull policies' per-slot scratch, owned by the
+	// buffer so policies stay stateless values.
+	heads []Head
+	refs  []cell.Ref
 }
 
-func bySeq(a, b cell.Cell) bool     { return a.Seq < b.Seq }
-func byFlowSeq(a, b cell.Cell) bool { return a.FlowSeq < b.FlowSeq }
-func byValue(a, b uint64) bool      { return a < b }
+// entry is one heap element: the ordering key (Seq for the emittable heap,
+// FlowSeq for parked heaps) alongside the ref, so sift operations never
+// dereference the store.
+type entry struct {
+	key uint64
+	ref cell.Ref
+}
 
-// Push inserts a cell delivered by a plane.
-func (b *Buffer) Push(c cell.Cell) {
-	if b.next == nil {
-		b.next = make(map[cell.Flow]uint64)
-		b.parked = make(map[cell.Flow]*queue.Heap[cell.Cell])
-		b.emittable = queue.NewHeap(bySeq)
+func byKey(a, b entry) bool    { return a.key < b.key }
+func byValue(a, b uint64) bool { return a < b }
+
+// NewBuffer returns a resequencing buffer for an n-port switch over store s.
+func NewBuffer(s *cell.Store, n int) *Buffer {
+	if s == nil || n <= 0 {
+		panic(fmt.Sprintf("mux: buffer needs a store and n > 0 (n=%d)", n))
 	}
-	if c.FlowSeq == b.next[c.Flow] {
-		b.emittable.Push(c)
+	b := &Buffer{}
+	b.init(s, n)
+	return b
+}
+
+func (b *Buffer) init(s *cell.Store, n int) {
+	b.s = s
+	b.n = n
+}
+
+// lazyInit allocates the flow-state arrays on the output's first activity.
+func (b *Buffer) lazyInit() {
+	if b.next != nil {
 		return
 	}
-	h := b.parked[c.Flow]
-	if h == nil {
-		// One parked heap per flow, kept for the run: flows are bounded by
-		// N^2, so retaining empty heaps trades bounded memory for an
-		// allocation-free steady state.
-		h = queue.NewHeap(byFlowSeq)
-		b.parked[c.Flow] = h
+	b.next = make([]uint64, b.n)
+	b.parked = make([]*queue.Heap[entry], b.n)
+	b.emittable = queue.NewHeap(byKey)
+}
+
+// Push inserts a cell delivered by a plane at slot t, stamping AtOutput.
+func (b *Buffer) Push(t cell.Time, r cell.Ref) {
+	b.lazyInit()
+	c := b.s.At(r)
+	c.AtOutput = t
+	in := c.Flow.In
+	if c.FlowSeq == b.next[in] {
+		b.emittable.Push(entry{key: c.Seq, ref: r})
+		return
 	}
-	h.Push(c)
+	h := b.parked[in]
+	if h == nil {
+		// One parked heap per input, kept for the run: inputs are bounded
+		// by N, so retaining empty heaps trades bounded memory for an
+		// allocation-free steady state.
+		h = queue.NewHeap(byKey)
+		b.parked[in] = h
+	}
+	h.Push(entry{key: c.FlowSeq, ref: r})
 	b.parkedLen++
+}
+
+// PushBatch inserts every ref in order (the batched form of Push).
+func (b *Buffer) PushBatch(t cell.Time, refs []cell.Ref) {
+	for _, r := range refs {
+		b.Push(t, r)
+	}
 }
 
 // Len reports the number of buffered cells (emittable and parked).
@@ -210,52 +279,49 @@ func (b *Buffer) Len() int {
 // forever behind the gap. Skips may arrive in any order relative to the
 // flow's progression and to each other.
 func (b *Buffer) Skip(f cell.Flow, fs uint64) {
-	if b.next == nil {
-		b.next = make(map[cell.Flow]uint64)
-		b.parked = make(map[cell.Flow]*queue.Heap[cell.Cell])
-		b.emittable = queue.NewHeap(bySeq)
-	}
-	if fs == b.next[f] {
-		b.next[f] = fs + 1
-		b.advance(f)
+	b.lazyInit()
+	if fs == b.next[f.In] {
+		b.next[f.In] = fs + 1
+		b.advance(f.In)
 		return
 	}
 	if b.skips == nil {
-		b.skips = make(map[cell.Flow]*queue.Heap[uint64])
+		b.skips = make(map[cell.Port]*queue.Heap[uint64])
 	}
-	h := b.skips[f]
+	h := b.skips[f.In]
 	if h == nil {
 		h = queue.NewHeap(byValue)
-		b.skips[f] = h
+		b.skips[f.In] = h
 	}
 	h.Push(fs)
 }
 
-// advance consumes any now-reached skipped FlowSeqs of flow f and releases
-// the parked successor the advancement uncovers, if any.
-func (b *Buffer) advance(f cell.Flow) {
-	if sk := b.skips[f]; sk != nil {
-		for !sk.Empty() && sk.Peek() == b.next[f] {
+// advance consumes any now-reached skipped FlowSeqs of input in's flow and
+// releases the parked successor the advancement uncovers, if any.
+func (b *Buffer) advance(in cell.Port) {
+	if sk := b.skips[in]; sk != nil {
+		for !sk.Empty() && sk.Peek() == b.next[in] {
 			sk.Pop()
-			b.next[f]++
+			b.next[in]++
 		}
 	}
-	if h := b.parked[f]; h != nil && !h.Empty() && h.Peek().FlowSeq == b.next[f] {
-		b.emittable.Push(h.Pop())
+	if h := b.parked[in]; h != nil && !h.Empty() && h.Peek().key == b.next[in] {
+		e := h.Pop()
+		b.emittable.Push(entry{key: b.s.At(e.ref).Seq, ref: e.ref})
 		b.parkedLen--
 	}
 }
 
-// PopEmittable removes and returns the earliest in-order cell; ok is false
-// when every buffered cell is waiting for a predecessor (or the buffer is
-// empty).
+// PopEmittable removes and returns the earliest in-order cell (freeing its
+// ref back to the store); ok is false when every buffered cell is waiting
+// for a predecessor (or the buffer is empty).
 func (b *Buffer) PopEmittable() (cell.Cell, bool) {
 	if b.emittable == nil || b.emittable.Empty() {
 		return cell.Cell{}, false
 	}
-	c := b.emittable.Pop()
-	b.next[c.Flow] = c.FlowSeq + 1
-	b.advance(c.Flow)
+	c := b.s.Take(b.emittable.Pop().ref)
+	b.next[c.Flow.In] = c.FlowSeq + 1
+	b.advance(c.Flow.In)
 	return c, true
 }
 
@@ -264,7 +330,7 @@ func (b *Buffer) PeekEmittable() (cell.Cell, bool) {
 	if b.emittable == nil || b.emittable.Empty() {
 		return cell.Cell{}, false
 	}
-	return b.emittable.Peek(), true
+	return *b.s.At(b.emittable.Peek().ref), true
 }
 
 // Output is one PPS output-port: a pull policy plus the reassembly buffer
@@ -281,13 +347,18 @@ type Output struct {
 	everActive bool
 }
 
-// NewOutput returns output-port j with the given pull policy. It panics on
-// a nil policy.
-func NewOutput(j cell.Port, p Policy) *Output {
+// NewOutput returns output-port j of an n-port switch with the given pull
+// policy, resequencing over store s. It panics on a nil policy or store.
+func NewOutput(j cell.Port, p Policy, s *cell.Store, n int) *Output {
 	if p == nil {
 		panic("mux: nil policy")
 	}
-	return &Output{j: j, policy: p, firstSlot: cell.None, lastSlot: cell.None}
+	if s == nil || n <= 0 {
+		panic(fmt.Sprintf("mux: output needs a store and n > 0 (n=%d)", n))
+	}
+	o := &Output{j: j, policy: p, firstSlot: cell.None, lastSlot: cell.None}
+	o.buf.init(s, n)
+	return o
 }
 
 // Step advances the output by one slot: pull per policy, then emit the

@@ -10,31 +10,57 @@ import (
 	"ppsim/internal/timing"
 )
 
-// fakeView adapts one output's slice of a plane bank for tests.
+// fakeView adapts one output's slice of a plane bank for tests, speaking
+// the batched PlaneView protocol over a single-shard store.
 type fakeView struct {
 	out    cell.Port
+	s      *cell.Store
 	planes []*plane.Plane
 	gates  *timing.Matrix // rows = planes, cols = 1
 }
 
 func newFakeView(out cell.Port, k, n int, hold int64) *fakeView {
-	fv := &fakeView{out: out, gates: timing.NewMatrix(k, 1, hold)}
+	fv := &fakeView{out: out, s: cell.NewStore(1), gates: timing.NewMatrix(k, 1, hold)}
 	for i := 0; i < k; i++ {
-		fv.planes = append(fv.planes, plane.New(cell.Plane(i), n))
+		fv.planes = append(fv.planes, plane.New(cell.Plane(i), n, fv.s))
 	}
 	return fv
 }
 
+// enqueue stores c and queues its ref on plane k.
+func (f *fakeView) enqueue(k int, c cell.Cell) error {
+	return f.planes[k].Enqueue(f.s.Put(0, c))
+}
+
 func (f *fakeView) Planes() int { return len(f.planes) }
-func (f *fakeView) Head(k cell.Plane) (cell.Cell, bool) {
-	return f.planes[k].Head(f.out)
+
+func (f *fakeView) Eligible(t cell.Time, dst []Head) []Head {
+	for k, pl := range f.planes {
+		r, ok := pl.HeadRef(f.out)
+		if !ok || !f.gates.Gate(k, 0).Free(t) {
+			continue
+		}
+		dst = append(dst, Head{K: cell.Plane(k), Seq: f.s.At(r).Seq})
+	}
+	return dst
 }
-func (f *fakeView) Pop(k cell.Plane) cell.Cell { return f.planes[k].Pop(f.out) }
-func (f *fakeView) GateFree(k cell.Plane, t cell.Time) bool {
-	return f.gates.Gate(int(k), 0).Free(t)
+
+func (f *fakeView) Take(t cell.Time, k cell.Plane) (cell.Ref, error) {
+	if err := f.gates.Gate(int(k), 0).Seize(t); err != nil {
+		return 0, err
+	}
+	return f.planes[k].Pop(f.out), nil
 }
-func (f *fakeView) SeizeGate(k cell.Plane, t cell.Time) error {
-	return f.gates.Gate(int(k), 0).Seize(t)
+
+func (f *fakeView) PullBatch(t cell.Time, heads []Head, dst []cell.Ref) ([]cell.Ref, error) {
+	for _, h := range heads {
+		r, err := f.Take(t, h.K)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
 }
 
 // mk builds a cell on its own flow (input = seq), so resequencing never
@@ -43,10 +69,18 @@ func mk(seq uint64, out cell.Port) cell.Cell {
 	return cell.New(seq, 0, cell.Flow{In: cell.Port(seq), Out: out}, 0)
 }
 
+// testBuffer returns a buffer over its own store plus a push helper taking
+// plain cells.
+func testBuffer(n int) (*Buffer, func(cell.Cell)) {
+	s := cell.NewStore(1)
+	b := NewBuffer(s, n)
+	return b, func(c cell.Cell) { b.Push(0, s.Put(0, c)) }
+}
+
 func TestBufferOrdersBySeq(t *testing.T) {
-	var b Buffer
+	b, push := testBuffer(16)
 	for _, s := range []uint64{5, 1, 9, 0, 3} {
-		b.Push(mk(s, 0))
+		push(mk(s, 0))
 	}
 	want := []uint64{0, 1, 3, 5, 9}
 	for _, w := range want {
@@ -67,15 +101,15 @@ func TestBufferResequencesWithinFlow(t *testing.T) {
 	// Cells 0,1,2 of one flow arrive out of order: 2 first, then 0, then
 	// 1. The buffer must emit 0, 1, 2 and park until predecessors depart.
 	f := cell.Flow{In: 3, Out: 0}
-	var b Buffer
-	b.Push(cell.New(12, 2, f, 0))
+	b, push := testBuffer(8)
+	push(cell.New(12, 2, f, 0))
 	if _, ok := b.PopEmittable(); ok {
 		t.Fatal("FlowSeq 2 must be parked before 0 and 1 departed")
 	}
 	if b.Len() != 1 {
 		t.Fatalf("Len = %d", b.Len())
 	}
-	b.Push(cell.New(10, 0, f, 0))
+	push(cell.New(10, 0, f, 0))
 	c, ok := b.PopEmittable()
 	if !ok || c.FlowSeq != 0 {
 		t.Fatalf("want FlowSeq 0, got %v %v", c, ok)
@@ -84,7 +118,7 @@ func TestBufferResequencesWithinFlow(t *testing.T) {
 	if _, ok := b.PopEmittable(); ok {
 		t.Fatal("FlowSeq 2 must still wait for 1")
 	}
-	b.Push(cell.New(11, 1, f, 0))
+	push(cell.New(11, 1, f, 0))
 	c, _ = b.PopEmittable()
 	if c.FlowSeq != 1 {
 		t.Fatalf("want FlowSeq 1, got %v", c)
@@ -101,10 +135,10 @@ func TestBufferResequencesWithinFlow(t *testing.T) {
 func TestBufferInterleavesFlowsGlobalFCFS(t *testing.T) {
 	fa := cell.Flow{In: 0, Out: 0}
 	fb := cell.Flow{In: 1, Out: 0}
-	var b Buffer
-	b.Push(cell.New(3, 0, fb, 0))
-	b.Push(cell.New(1, 0, fa, 0))
-	b.Push(cell.New(4, 1, fa, 0))
+	b, push := testBuffer(8)
+	push(cell.New(3, 0, fb, 0))
+	push(cell.New(1, 0, fa, 0))
+	push(cell.New(4, 1, fa, 0))
 	got := []uint64{}
 	for {
 		c, ok := b.PopEmittable()
@@ -121,12 +155,27 @@ func TestBufferInterleavesFlowsGlobalFCFS(t *testing.T) {
 	}
 }
 
+func TestBufferFreesRefsOnPop(t *testing.T) {
+	s := cell.NewStore(1)
+	b := NewBuffer(s, 4)
+	b.Push(0, s.Put(0, mk(0, 0)))
+	b.Push(0, s.Put(0, mk(1, 0)))
+	if s.Live() != 2 {
+		t.Fatalf("Live = %d before pops", s.Live())
+	}
+	b.PopEmittable()
+	b.PopEmittable()
+	if s.Live() != 0 {
+		t.Errorf("Live = %d after drain; buffer leaked refs", s.Live())
+	}
+}
+
 func TestEagerPullsAllFreePlanes(t *testing.T) {
 	fv := newFakeView(0, 3, 2, 2)
-	fv.planes[0].Enqueue(mk(0, 0))
-	fv.planes[1].Enqueue(mk(1, 0))
-	fv.planes[2].Enqueue(mk(2, 0))
-	o := NewOutput(0, Eager{})
+	fv.enqueue(0, mk(0, 0))
+	fv.enqueue(1, mk(1, 0))
+	fv.enqueue(2, mk(2, 0))
+	o := NewOutput(0, Eager{}, fv.s, 32)
 	c, ok, err := o.Step(0, fv)
 	if err != nil || !ok {
 		t.Fatalf("Step: %v %v", ok, err)
@@ -151,9 +200,9 @@ func TestOutputConstraintLimitsDrainRate(t *testing.T) {
 	const rPrime, c = 3, 4
 	fv := newFakeView(0, 1, 2, rPrime)
 	for i := uint64(0); i < c; i++ {
-		fv.planes[0].Enqueue(mk(i, 0))
+		fv.enqueue(0, mk(i, 0))
 	}
-	o := NewOutput(0, Eager{})
+	o := NewOutput(0, Eager{}, fv.s, 32)
 	var departs []cell.Time
 	for slot := cell.Time(0); slot < 20 && len(departs) < c; slot++ {
 		if dc, ok, err := o.Step(slot, fv); err != nil {
@@ -172,9 +221,9 @@ func TestOutputConstraintLimitsDrainRate(t *testing.T) {
 
 func TestLazyPullsEarliestOnly(t *testing.T) {
 	fv := newFakeView(0, 3, 2, 1)
-	fv.planes[2].Enqueue(mk(0, 0)) // earliest cell on plane 2
-	fv.planes[0].Enqueue(mk(1, 0))
-	o := NewOutput(0, LazyFCFS{})
+	fv.enqueue(2, mk(0, 0)) // earliest cell on plane 2
+	fv.enqueue(0, mk(1, 0))
+	o := NewOutput(0, LazyFCFS{}, fv.s, 32)
 	c, ok, err := o.Step(0, fv)
 	if err != nil || !ok || c.Seq != 0 {
 		t.Fatalf("lazy should pull and emit seq 0: %v %v %v", c, ok, err)
@@ -190,9 +239,9 @@ func TestLazyPullsEarliestOnly(t *testing.T) {
 func TestBoundedEagerBudget(t *testing.T) {
 	fv := newFakeView(0, 4, 2, 1)
 	for i := uint64(0); i < 4; i++ {
-		fv.planes[i].Enqueue(mk(i, 0))
+		fv.enqueue(int(i), mk(i, 0))
 	}
-	o := NewOutput(0, BoundedEager{Max: 2})
+	o := NewOutput(0, BoundedEager{Max: 2}, fv.s, 32)
 	c, ok, err := o.Step(0, fv)
 	if err != nil || !ok || c.Seq != 0 {
 		t.Fatalf("Step: %v %v %v", c, ok, err)
@@ -213,19 +262,19 @@ func TestBoundedEagerBudget(t *testing.T) {
 func TestBoundedEagerDegenerateCases(t *testing.T) {
 	// Max = 1 behaves like LazyFCFS; Max >= K like Eager.
 	fv := newFakeView(0, 3, 2, 1)
-	fv.planes[1].Enqueue(mk(0, 0))
-	fv.planes[2].Enqueue(mk(1, 0))
-	o := NewOutput(0, BoundedEager{Max: 1})
+	fv.enqueue(1, mk(0, 0))
+	fv.enqueue(2, mk(1, 0))
+	o := NewOutput(0, BoundedEager{Max: 1}, fv.s, 32)
 	if c, ok, _ := o.Step(0, fv); !ok || c.Seq != 0 {
 		t.Fatal("Max=1 must pull the earliest head only")
 	}
 	if o.Buffered() != 0 {
 		t.Error("Max=1 must not over-pull")
 	}
-	o2 := NewOutput(0, BoundedEager{Max: 8})
 	fv2 := newFakeView(0, 3, 2, 1)
-	fv2.planes[0].Enqueue(mk(2, 0))
-	fv2.planes[1].Enqueue(mk(3, 0))
+	o2 := NewOutput(0, BoundedEager{Max: 8}, fv2.s, 32)
+	fv2.enqueue(0, mk(2, 0))
+	fv2.enqueue(1, mk(3, 0))
 	if _, ok, _ := o2.Step(0, fv2); !ok {
 		t.Fatal("Max>=K must behave eagerly")
 	}
@@ -236,8 +285,8 @@ func TestBoundedEagerDegenerateCases(t *testing.T) {
 
 func TestBoundedEagerRejectsBadBudget(t *testing.T) {
 	fv := newFakeView(0, 2, 2, 1)
-	fv.planes[0].Enqueue(mk(0, 0))
-	o := NewOutput(0, BoundedEager{Max: 0})
+	fv.enqueue(0, mk(0, 0))
+	o := NewOutput(0, BoundedEager{Max: 0}, fv.s, 32)
 	if _, _, err := o.Step(0, fv); err == nil {
 		t.Error("budget 0 must error")
 	}
@@ -248,8 +297,8 @@ func TestBoundedEagerRejectsBadBudget(t *testing.T) {
 
 func TestOutputRejectsForeignCell(t *testing.T) {
 	fv := newFakeView(1, 1, 2, 1)
-	fv.planes[0].Enqueue(mk(0, 1))
-	o := NewOutput(0, Eager{}) // output 0 draining output 1's view: miswired
+	fv.enqueue(0, mk(0, 1))
+	o := NewOutput(0, Eager{}, fv.s, 32) // output 0 draining output 1's view: miswired
 	// fakeView serves queue for its own out=1, so the pulled cell is for
 	// output 1 while o believes it is output 0.
 	if _, _, err := o.Step(0, fv); err == nil {
@@ -259,16 +308,16 @@ func TestOutputRejectsForeignCell(t *testing.T) {
 
 func TestUtilization(t *testing.T) {
 	fv := newFakeView(0, 1, 2, 1)
-	o := NewOutput(0, Eager{})
+	o := NewOutput(0, Eager{}, fv.s, 32)
 	if o.Utilization() != 0 {
 		t.Error("idle output utilization should be 0")
 	}
-	fv.planes[0].Enqueue(mk(0, 0))
+	fv.enqueue(0, mk(0, 0))
 	o.Step(0, fv)
 	// Idle gap.
 	o.Step(1, fv)
 	o.Step(2, fv)
-	fv.planes[0].Enqueue(mk(1, 0))
+	fv.enqueue(0, mk(1, 0))
 	o.Step(3, fv)
 	// busy 2 of span 4 slots.
 	if got := o.Utilization(); got != 0.5 {
@@ -285,7 +334,16 @@ func TestNewOutputNilPolicyPanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	NewOutput(0, nil)
+	NewOutput(0, nil, cell.NewStore(1), 2)
+}
+
+func TestNewOutputNilStorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewOutput(0, Eager{}, nil, 2)
 }
 
 // Property: with eager pulling and hold 1, departures are exactly in global
@@ -299,10 +357,10 @@ func TestEagerFCFSDepartureOrder(t *testing.T) {
 			if i >= 24 {
 				break
 			}
-			fv.planes[a%k].Enqueue(mk(uint64(i), 0))
+			fv.enqueue(int(a%k), mk(uint64(i), 0))
 			seqs = append(seqs, uint64(i))
 		}
-		o := NewOutput(0, Eager{})
+		o := NewOutput(0, Eager{}, fv.s, 32)
 		var got []uint64
 		for slot := cell.Time(0); slot < 100 && len(got) < len(seqs); slot++ {
 			if c, ok, err := o.Step(slot, fv); err != nil {

@@ -26,13 +26,13 @@ func popAll(b *Buffer) []uint64 {
 
 func TestSkipReleasesParkedSuccessor(t *testing.T) {
 	f := cell.Flow{In: 0, Out: 0}
-	var b Buffer
-	b.Push(skipCell(f, 1, 1)) // parks: waiting for FlowSeq 0
+	b, push := testBuffer(4)
+	push(skipCell(f, 1, 1)) // parks: waiting for FlowSeq 0
 	if _, ok := b.PopEmittable(); ok {
 		t.Fatal("successor emitted before its gap was resolved")
 	}
 	b.Skip(f, 0) // FlowSeq 0 was dropped in the switch
-	if got := popAll(&b); len(got) != 1 || got[0] != 1 {
+	if got := popAll(b); len(got) != 1 || got[0] != 1 {
 		t.Errorf("popped %v, want [1]", got)
 	}
 	if b.Len() != 0 {
@@ -44,12 +44,12 @@ func TestSkipOutOfOrder(t *testing.T) {
 	// Two planes failing in turn can drop a flow's cells out of FlowSeq
 	// order: skip 2 arrives before skip 1. Cell 3 must wait for both.
 	f := cell.Flow{In: 1, Out: 0}
-	var b Buffer
-	b.Push(skipCell(f, 0, 0))
-	b.Push(skipCell(f, 3, 3))
+	b, push := testBuffer(4)
+	push(skipCell(f, 0, 0))
+	push(skipCell(f, 3, 3))
 	b.Skip(f, 2)
 	b.Skip(f, 1)
-	if got := popAll(&b); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+	if got := popAll(b); len(got) != 2 || got[0] != 0 || got[1] != 3 {
 		t.Errorf("popped %v, want [0 3]", got)
 	}
 }
@@ -57,10 +57,10 @@ func TestSkipOutOfOrder(t *testing.T) {
 func TestSkipBeforeFirstPush(t *testing.T) {
 	// The gap can be the very first cell the output ever hears about.
 	f := cell.Flow{In: 0, Out: 2}
-	var b Buffer
+	b, push := testBuffer(4)
 	b.Skip(f, 0)
-	b.Push(skipCell(f, 5, 1))
-	if got := popAll(&b); len(got) != 1 || got[0] != 1 {
+	push(skipCell(f, 5, 1))
+	if got := popAll(b); len(got) != 1 || got[0] != 1 {
 		t.Errorf("popped %v, want [1]", got)
 	}
 }
@@ -69,15 +69,15 @@ func TestSkipFarAheadParksUntilReached(t *testing.T) {
 	// A skip beyond the flow's frontier must not advance anything until the
 	// intervening cells are delivered.
 	f := cell.Flow{In: 2, Out: 0}
-	var b Buffer
-	b.Skip(f, 2)                // dropped, but 0 and 1 are still in flight
-	b.Push(skipCell(f, 9, 3))   // parks behind the gap
-	b.Push(skipCell(f, 4, 0))   // in order: emittable
-	if got := popAll(&b); len(got) != 1 || got[0] != 0 {
+	b, push := testBuffer(4)
+	b.Skip(f, 2)            // dropped, but 0 and 1 are still in flight
+	push(skipCell(f, 9, 3)) // parks behind the gap
+	push(skipCell(f, 4, 0)) // in order: emittable
+	if got := popAll(b); len(got) != 1 || got[0] != 0 {
 		t.Fatalf("popped %v, want [0]", got)
 	}
-	b.Push(skipCell(f, 7, 1)) // delivers 1; skip of 2 then uncovers 3
-	if got := popAll(&b); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+	push(skipCell(f, 7, 1)) // delivers 1; skip of 2 then uncovers 3
+	if got := popAll(b); len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Errorf("popped %v, want [1 3]", got)
 	}
 }
@@ -85,8 +85,8 @@ func TestSkipFarAheadParksUntilReached(t *testing.T) {
 func TestSkipDoesNotTouchOtherFlows(t *testing.T) {
 	fa := cell.Flow{In: 0, Out: 0}
 	fb := cell.Flow{In: 1, Out: 0}
-	var b Buffer
-	b.Push(skipCell(fb, 2, 1)) // parks: fb waiting for 0
+	b, push := testBuffer(4)
+	push(skipCell(fb, 2, 1)) // parks: fb waiting for 0
 	b.Skip(fa, 0)
 	if _, ok := b.PopEmittable(); ok {
 		t.Error("skip of one flow released another flow's parked cell")
@@ -94,9 +94,10 @@ func TestSkipDoesNotTouchOtherFlows(t *testing.T) {
 }
 
 func TestOutputSkipDelegates(t *testing.T) {
-	o := NewOutput(0, Eager{})
+	s := cell.NewStore(1)
+	o := NewOutput(0, Eager{}, s, 4)
 	f := cell.Flow{In: 0, Out: 0}
-	o.buf.Push(skipCell(f, 1, 1))
+	o.buf.Push(0, s.Put(0, skipCell(f, 1, 1)))
 	if o.Buffered() != 1 {
 		t.Fatalf("Buffered = %d", o.Buffered())
 	}

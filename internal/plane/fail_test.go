@@ -7,15 +7,14 @@ import (
 )
 
 func TestFailDropDrainsEverything(t *testing.T) {
-	p := New(0, 4)
+	b := newBank(0, 4)
 	var seq uint64
-	push := func(out cell.Port) cell.Cell {
+	push := func(out cell.Port) {
 		c := cell.New(seq, seq, cell.Flow{In: 0, Out: out}, 0)
 		seq++
-		if err := p.Enqueue(c); err != nil {
+		if err := b.enqueue(c); err != nil {
 			t.Fatal(err)
 		}
-		return c
 	}
 	// Interleave outputs so FIFO-within-output and ascending-output order
 	// are distinguishable in the drained slice.
@@ -23,12 +22,15 @@ func TestFailDropDrainsEverything(t *testing.T) {
 	push(0)
 	push(2)
 	push(1)
-	dropped := p.FailDrop(nil)
-	if !p.Failed() {
+	dropped := b.p.FailDrop(nil)
+	if !b.p.Failed() {
 		t.Fatal("FailDrop left the plane live")
 	}
-	if p.Backlog() != 0 {
-		t.Errorf("Backlog = %d after FailDrop", p.Backlog())
+	if b.p.Backlog() != 0 {
+		t.Errorf("Backlog = %d after FailDrop", b.p.Backlog())
+	}
+	if b.s.Live() != 0 {
+		t.Errorf("store still holds %d live refs after FailDrop", b.s.Live())
 	}
 	wantOut := []cell.Port{0, 1, 2, 2}
 	wantSeq := []uint64{1, 3, 0, 2}
@@ -41,43 +43,43 @@ func TestFailDropDrainsEverything(t *testing.T) {
 				i, c.Flow.Out, c.Seq, wantOut[i], wantSeq[i])
 		}
 	}
-	if err := p.Enqueue(cell.New(99, 0, cell.Flow{Out: 0}, 0)); err == nil {
+	if err := b.enqueue(cell.New(99, 0, cell.Flow{Out: 0}, 0)); err == nil {
 		t.Error("failed plane accepted a cell")
 	}
 }
 
 func TestFailDropAppendsToDst(t *testing.T) {
-	p := New(1, 2)
-	if err := p.Enqueue(cell.New(0, 0, cell.Flow{Out: 1}, 0)); err != nil {
+	b := newBank(1, 2)
+	if err := b.enqueue(cell.New(0, 0, cell.Flow{Out: 1}, 0)); err != nil {
 		t.Fatal(err)
 	}
 	scratch := make([]cell.Cell, 0, 8)
 	scratch = append(scratch, cell.New(7, 7, cell.Flow{}, 0))
-	out := p.FailDrop(scratch)
+	out := b.p.FailDrop(scratch)
 	if len(out) != 2 || out[0].Seq != 7 || out[1].Seq != 0 {
 		t.Errorf("FailDrop did not append to dst: %v", out)
 	}
 }
 
 func TestRecoverRejoinsEmpty(t *testing.T) {
-	p := New(0, 2)
-	if err := p.Enqueue(cell.New(0, 0, cell.Flow{Out: 0}, 0)); err != nil {
+	b := newBank(0, 2)
+	if err := b.enqueue(cell.New(0, 0, cell.Flow{Out: 0}, 0)); err != nil {
 		t.Fatal(err)
 	}
-	p.FailDrop(nil)
-	p.Recover()
-	if p.Failed() {
+	b.p.FailDrop(nil)
+	b.p.Recover()
+	if b.p.Failed() {
 		t.Fatal("Recover left the plane failed")
 	}
-	if p.Backlog() != 0 {
-		t.Errorf("recovered plane backlog = %d, want 0", p.Backlog())
+	if b.p.Backlog() != 0 {
+		t.Errorf("recovered plane backlog = %d, want 0", b.p.Backlog())
 	}
-	if err := p.Enqueue(cell.New(1, 1, cell.Flow{Out: 1}, 5)); err != nil {
+	if err := b.enqueue(cell.New(1, 1, cell.Flow{Out: 1}, 5)); err != nil {
 		t.Errorf("recovered plane rejected a cell: %v", err)
 	}
 	// Recover on a live plane is a no-op.
-	p.Recover()
-	if p.Failed() || p.Backlog() != 1 {
+	b.p.Recover()
+	if b.p.Failed() || b.p.Backlog() != 1 {
 		t.Error("no-op Recover perturbed the plane")
 	}
 }

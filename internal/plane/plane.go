@@ -10,6 +10,10 @@
 // which "may be optimal" (remark after Lemma 4) — only on the fact that
 // cells are not dropped.
 //
+// Queues hold cell.Ref handles into the shared columnar cell.Store, not
+// cell values: pushing or popping moves four bytes, and the queue rings of
+// all K planes stay dense in cache.
+//
 // A plane can be marked failed to exercise the fault-tolerance argument of
 // Section 3 (static plane partitioning amplifies the damage of a single
 // plane failure).
@@ -26,7 +30,8 @@ import (
 type Plane struct {
 	id     cell.Plane
 	n      int
-	queues []queue.FIFO[cell.Cell]
+	s      *cell.Store
+	queues []queue.FIFO[cell.Ref]
 	total  int
 	failed bool
 	// peak tracks the largest per-output backlog ever observed; large
@@ -34,12 +39,16 @@ type Plane struct {
 	peak int
 }
 
-// New returns plane id for an n x n PPS. It panics if n <= 0.
-func New(id cell.Plane, n int) *Plane {
+// New returns plane id for an n x n PPS, backed by store s. It panics if
+// n <= 0 or s is nil.
+func New(id cell.Plane, n int, s *cell.Store) *Plane {
 	if n <= 0 {
 		panic(fmt.Sprintf("plane: invalid port count %d", n))
 	}
-	return &Plane{id: id, n: n, queues: make([]queue.FIFO[cell.Cell], n)}
+	if s == nil {
+		panic("plane: nil cell store")
+	}
+	return &Plane{id: id, n: n, s: s, queues: make([]queue.FIFO[cell.Ref], n)}
 }
 
 // ID returns the plane's index in the center stage.
@@ -48,19 +57,21 @@ func (p *Plane) ID() cell.Plane { return p.id }
 // Ports returns N.
 func (p *Plane) Ports() int { return p.n }
 
-// Enqueue accepts a cell switched through this plane. It returns an error
-// if the plane has failed (the cell would be dropped — the fabric surfaces
-// this as an execution failure, since the model forbids drops) or if the
-// destination is out of range.
-func (p *Plane) Enqueue(c cell.Cell) error {
+// Enqueue accepts a cell (by ref) switched through this plane. It returns an
+// error if the plane has failed (the cell would be dropped — the fabric
+// surfaces this as an execution failure, since the model forbids drops) or
+// if the destination is out of range; the caller keeps ownership of the ref
+// on error.
+func (p *Plane) Enqueue(r cell.Ref) error {
+	c := p.s.At(r)
 	if p.failed {
-		return fmt.Errorf("plane %d: cell %v dispatched to a failed plane", p.id, c)
+		return fmt.Errorf("plane %d: cell %v dispatched to a failed plane", p.id, *c)
 	}
 	j := int(c.Flow.Out)
 	if j < 0 || j >= p.n {
-		return fmt.Errorf("plane %d: destination out of range: %v", p.id, c)
+		return fmt.Errorf("plane %d: destination out of range: %v", p.id, *c)
 	}
-	p.queues[j].Push(c)
+	p.queues[j].Push(r)
 	p.total++
 	if l := p.queues[j].Len(); l > p.peak {
 		p.peak = l
@@ -71,30 +82,55 @@ func (p *Plane) Enqueue(c cell.Cell) error {
 // QueueLen reports the backlog for output j.
 func (p *Plane) QueueLen(j cell.Port) int { return p.queues[j].Len() }
 
-// Head returns the head cell for output j without removing it; ok is false
-// when the queue is empty.
-func (p *Plane) Head(j cell.Port) (cell.Cell, bool) {
+// HeadRef returns the head ref for output j without removing it; ok is
+// false when the queue is empty.
+func (p *Plane) HeadRef(j cell.Port) (cell.Ref, bool) {
 	if p.queues[j].Empty() {
-		return cell.Cell{}, false
+		return 0, false
 	}
 	return p.queues[j].Peek(), true
 }
 
-// Pop removes and returns the head cell for output j. It panics on an
-// empty queue (a multiplexor bug).
-func (p *Plane) Pop(j cell.Port) cell.Cell {
-	c := p.queues[j].Pop()
-	p.total--
-	return c
+// Head returns a copy of the head cell for output j (diagnostics and tests;
+// the hot path uses HeadRef).
+func (p *Plane) Head(j cell.Port) (cell.Cell, bool) {
+	r, ok := p.HeadRef(j)
+	if !ok {
+		return cell.Cell{}, false
+	}
+	return *p.s.At(r), true
 }
 
-// PopDeferred removes and returns the head cell for output j without
+// Pop removes and returns the head ref for output j. It panics on an empty
+// queue (a multiplexor bug).
+func (p *Plane) Pop(j cell.Port) cell.Ref {
+	r := p.queues[j].Pop()
+	p.total--
+	return r
+}
+
+// PopDeferred removes and returns the head ref for output j without
 // updating the plane-wide backlog counter. The fabric's sharded mux stage
 // uses it so concurrent per-output workers touch only their own queue; the
 // caller must reconcile the counter with AddBacklogDelta after its stage
 // barrier, before anything reads Backlog again.
-func (p *Plane) PopDeferred(j cell.Port) cell.Cell {
+func (p *Plane) PopDeferred(j cell.Port) cell.Ref {
 	return p.queues[j].Pop()
+}
+
+// PopBatch removes up to max head refs for output j (all of them when
+// max < 0), appending to dst. The backlog counter is updated inline; use it
+// from single-goroutine contexts only.
+func (p *Plane) PopBatch(j cell.Port, max int, dst []cell.Ref) []cell.Ref {
+	q := &p.queues[j]
+	for !q.Empty() && max != 0 {
+		dst = append(dst, q.Pop())
+		p.total--
+		if max > 0 {
+			max--
+		}
+	}
+	return dst
 }
 
 // AddBacklogDelta adjusts the backlog counter by d (negative for pops taken
@@ -114,14 +150,15 @@ func (p *Plane) Fail() { p.failed = true }
 
 // FailDrop marks the plane failed and empties every per-output queue,
 // appending the removed cells to dst in ascending output order (FIFO order
-// within an output) so the fabric can account them as drops. This is the
-// DropCount-policy failure mode: the plane's memory dies with it.
+// within an output) so the fabric can account them as drops. The refs are
+// freed back to the store — the drop list owns plain cell copies. This is
+// the DropCount-policy failure mode: the plane's memory dies with it.
 func (p *Plane) FailDrop(dst []cell.Cell) []cell.Cell {
 	p.failed = true
 	for j := range p.queues {
 		q := &p.queues[j]
 		for !q.Empty() {
-			dst = append(dst, q.Pop())
+			dst = append(dst, p.s.Take(q.Pop()))
 		}
 	}
 	p.total = 0
