@@ -85,6 +85,16 @@ type benchResult struct {
 	// keeps files written before the field existed readable and diffable;
 	// -compare treats an absent block as "no tail data".
 	Percentiles *ppsim.DelayQuantiles `json:"percentiles,omitempty"`
+	// Admitted/Rejected/Expired and the goodput / on-time-fraction figures
+	// record the admission-policy outcome of the run. All absent when no
+	// -admission / -deadline policy was active, so policy-free files stay
+	// byte-identical to the pre-schema layout; -compare renders goodput and
+	// on-time columns (warn-only, never gated) when either side has them.
+	Admitted       uint64  `json:"admitted,omitempty"`
+	Rejected       uint64  `json:"rejected,omitempty"`
+	Expired        uint64  `json:"expired,omitempty"`
+	Goodput        float64 `json:"goodput,omitempty"`
+	OnTimeFraction float64 `json:"on_time_fraction,omitempty"`
 }
 
 // benchFile is the stable schema of a BENCH_<rev>.json file. Fields added
@@ -117,8 +127,12 @@ type benchFile struct {
 	Count int `json:"count,omitempty"`
 	// Engine echoes the -engine request ("auto" omitted as the default);
 	// the per-case Engine field records what each run actually used.
-	Engine  string        `json:"engine,omitempty"`
-	Results []benchResult `json:"results"`
+	Engine string `json:"engine,omitempty"`
+	// Admission echoes the -admission spec and DeadlineRel the -deadline
+	// wrapper applied to every case; absent for policy-free baselines.
+	Admission   string        `json:"admission,omitempty"`
+	DeadlineRel int64         `json:"deadline_rel,omitempty"`
+	Results     []benchResult `json:"results"`
 }
 
 // suite returns the fixed benchmark matrix. horizon scales every case; the
@@ -174,6 +188,24 @@ func suite(horizon int64) []benchCase {
 			Seed:    1,
 		})
 	}
+	// Overload cases offer more than the per-output capacity of 1 cell/slot
+	// (speedup S = 1 at K=2, r'=2): a sustained hotspot at ~3.7x capacity on
+	// output 0, and concentrated on/off flows whose overlapping bursts push
+	// the instantaneous offered load past capacity. These are the scenarios
+	// the admission layer sheds; run policy-free they document the backlog
+	// pathology in the p99/p999 rqd columns, and with -admission the same
+	// cases price graceful degradation (goodput / on-time columns).
+	for _, traffic := range []string{"overload-hot", "overload-burst"} {
+		cases = append(cases, benchCase{
+			Name:    fmt.Sprintf("%s/n32/k2", traffic),
+			Traffic: traffic,
+			N:       32,
+			K:       2,
+			RPrime:  2,
+			Slots:   horizon,
+			Seed:    1,
+		})
+	}
 	// The long-horizon case (1M slots at the default -slots 20000) is the
 	// headline event-core scenario: a mostly-idle switch simulated for a
 	// million slots in milliseconds because cost scales with events, not
@@ -210,6 +242,19 @@ func buildSource(c benchCase) (ppsim.Source, error) {
 		// is the regime the quiescence fast-forward elides. Arrivals use
 		// ports [0, 2), legal in any suite fabric (N >= 8).
 		return ppsim.NewOnOff(2, 8, 152, ppsim.Time(c.Slots), c.Seed)
+	case "overload-hot":
+		// 95% of every input's cells aim at output 0: offered load there is
+		// ~0.12*0.95*N = 3.7 cells/slot against a capacity of 1 — sustained
+		// inadmissible load, the admission layer's headline scenario. The low
+		// per-input load keeps the post-horizon drain within the 8x budget.
+		return ppsim.NewHotspot(c.N, 0.12, 0.95, 0, ppsim.Time(c.Slots), c.Seed)
+	case "overload-burst":
+		// Four concentrated on/off flows at per-flow load 0.8 over four
+		// outputs: the average per-output load (0.8) is admissible, but
+		// overlapping on-periods repeatedly push the instantaneous offered
+		// load to 2-4x capacity — the transient-overload regime a token
+		// bucket smooths.
+		return ppsim.NewOnOff(4, 32, 8, ppsim.Time(c.Slots), c.Seed)
 	case "adversarial":
 		perm := make([]ppsim.Port, c.N)
 		for i := range perm {
@@ -224,11 +269,16 @@ func buildSource(c benchCase) (ppsim.Source, error) {
 // run executes one case and measures throughput and allocation rate. A
 // non-nil schedule injects the same faults into every case (planes beyond a
 // small case's K are skipped by construction: the caller validates against
-// the smallest K in the suite).
-func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.FaultPolicy, eng ppsim.Engine, fastforward bool) (benchResult, error) {
+// the smallest K in the suite). A non-empty admission spec gates every
+// arrival and records the goodput / on-time outcome; deadlineRel > 0 stamps
+// each arrival with a departure deadline of its arrival slot + deadlineRel.
+func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.FaultPolicy, eng ppsim.Engine, fastforward bool, adm *ppsim.AdmissionSpec, deadlineRel int64) (benchResult, error) {
 	src, err := buildSource(c)
 	if err != nil {
 		return benchResult{}, err
+	}
+	if deadlineRel > 0 {
+		src = ppsim.WithDeadline(src, ppsim.Time(deadlineRel))
 	}
 	cfg := ppsim.Config{
 		N: c.N, K: c.K, RPrime: c.RPrime,
@@ -236,6 +286,9 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 		Algorithm:     ppsim.Algorithm{Name: "rr", Seed: c.Seed},
 	}
 	opts := ppsim.Options{Horizon: ppsim.Time(c.Slots) * 8, Workers: workers, Faults: sched, FaultPolicy: policy, Engine: eng, FastForward: fastforward}
+	if !adm.Empty() {
+		opts.Admission = adm
+	}
 	var elided uint64
 	opts.OnFastForward = func(from, to ppsim.Time) { elided += uint64(to - from) }
 
@@ -274,6 +327,13 @@ func run(c benchCase, workers int, sched *ppsim.FaultSchedule, policy ppsim.Faul
 	}
 	if q := res.Report.Percentiles; q.RQD.N > 0 {
 		out.Percentiles = &q
+	}
+	if !adm.Empty() {
+		out.Admitted = res.Report.Admitted
+		out.Rejected = res.Report.Rejected
+		out.Expired = res.Report.ExpiredAdmit + res.Report.ExpiredReseq
+		out.Goodput = res.Goodput
+		out.OnTimeFraction = res.OnTimeFraction
 	}
 	return out, nil
 }
@@ -314,6 +374,8 @@ func main() {
 		engineStr = flag.String("engine", "auto", "slot-execution core: auto, stepped, fastforward, event")
 		fastfwd   = flag.Bool("fastforward", false, "elide quiescent intervals (bit-identical results; records slots_elided)")
 		count     = flag.Int("count", 1, "repeats per case; the fastest (minimum wall time) repeat is reported")
+		admSpec   = flag.String("admission", "", "admission policy applied to every case, e.g. rate:1/2,burst:16,deadline")
+		deadline  = flag.Int64("deadline", 0, "stamp each arrival with a departure deadline of its arrival slot + N (0 = off)")
 		baseline  = flag.String("compare", "", "print a markdown delta table against this BENCH_<rev>.json baseline")
 		gate      = flag.Float64("gate", 10, "with -compare: flag cases whose slots/sec or cells/sec drop, or whose p99/p999 rqd grows, by more than this percent (0 disables)")
 		strict    = flag.Bool("gate-strict", false, "with -compare: exit 1 when any case trips the -gate threshold (default: warn only)")
@@ -353,6 +415,15 @@ func main() {
 	if !schedule.Empty() {
 		sched = schedule
 	}
+	adm, err := ppsim.ParseAdmissionSpec(*admSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsbench:", err)
+		os.Exit(2)
+	}
+	if *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "ppsbench: -deadline must be >= 0")
+		os.Exit(2)
+	}
 
 	horizon := *slots
 	if *quick {
@@ -383,6 +454,12 @@ func main() {
 		report.Faults = sched.String()
 		report.FaultPolicy = policy.String()
 	}
+	if !adm.Empty() {
+		report.Admission = adm.String()
+	}
+	if *deadline > 0 {
+		report.DeadlineRel = *deadline
+	}
 	for _, c := range suite(horizon) {
 		if !matchFilter(*filter, c.Name) {
 			continue
@@ -390,13 +467,13 @@ func main() {
 		// Min-of-count: measurements are deterministic across repeats, so
 		// only the wall-clock figures differ — the fastest repeat is the
 		// least scheduler-noise estimate of the machine's throughput.
-		res, err := run(c, *workers, sched, policy, eng, *fastfwd)
+		res, err := run(c, *workers, sched, policy, eng, *fastfwd, adm, *deadline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ppsbench:", err)
 			os.Exit(1)
 		}
 		for r := 1; r < *count; r++ {
-			again, err := run(c, *workers, sched, policy, eng, *fastfwd)
+			again, err := run(c, *workers, sched, policy, eng, *fastfwd, adm, *deadline)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ppsbench:", err)
 				os.Exit(1)
@@ -409,6 +486,10 @@ func main() {
 			res.Name, res.RunSlots, res.Cells, res.SlotsPerSec, res.CellsPerSec, res.AllocsPerSlot)
 		if res.SlotsElided > 0 {
 			fmt.Printf("  %d elided", res.SlotsElided)
+		}
+		if res.Rejected > 0 || res.Expired > 0 {
+			fmt.Printf("  rejected=%d expired=%d goodput=%.3f onTime=%.3f",
+				res.Rejected, res.Expired, res.Goodput, res.OnTimeFraction)
 		}
 		fmt.Println()
 		report.Results = append(report.Results, res)
@@ -464,7 +545,11 @@ func main() {
 // caller decides whether a non-zero count is fatal — the default is a
 // warning, -gate-strict exits non-zero. A baseline without cells/sec data
 // (pre-schema files record 0) renders an em dash and never gates, so old
-// baselines stay comparable. Only an unreadable baseline is an error.
+// baselines stay comparable; a zero-valued baseline tail quantile likewise
+// renders with the "— →" convention rather than a division-by-zero percent.
+// When either side carries admission QoS figures, goodput and on-time
+// fraction columns are appended — informational only, they never gate.
+// Only an unreadable baseline is an error.
 func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64) (int, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -484,14 +569,35 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64
 			base.Quick, cur.Quick, base.Workers, cur.Workers, base.FastForward, cur.FastForward,
 			engineLabel(base.Engine), engineLabel(cur.Engine))
 	}
+	hasQoS := false
+	for _, r := range base.Results {
+		if r.Goodput > 0 || r.OnTimeFraction > 0 {
+			hasQoS = true
+		}
+	}
+	for _, r := range cur.Results {
+		if r.Goodput > 0 || r.OnTimeFraction > 0 {
+			hasQoS = true
+		}
+	}
+	head := "| case | baseline slots/s | new slots/s | delta | cells/s (base → new) | allocs/slot (base → new) | p99 rqd (base → new) | p999 rqd (base → new) |"
+	rule := "|---|---:|---:|---:|---:|---:|---:|---:|"
+	if hasQoS {
+		head += " goodput (base → new) | on-time (base → new) |"
+		rule += "---:|---:|"
+	}
 	flagged := 0
-	fmt.Fprintln(w, "| case | baseline slots/s | new slots/s | delta | cells/s (base → new) | allocs/slot (base → new) | p99 rqd (base → new) | p999 rqd (base → new) |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|")
+	fmt.Fprintln(w, head)
+	fmt.Fprintln(w, rule)
 	for _, r := range cur.Results {
 		b, ok := byName[r.Name]
+		qos := ""
+		if hasQoS {
+			qos = fmt.Sprintf(" %s | %s |", qosCell(b.Goodput, r.Goodput), qosCell(b.OnTimeFraction, r.OnTimeFraction))
+		}
 		if !ok || b.SlotsPerSec == 0 {
-			fmt.Fprintf(w, "| %s | — | %.0f | new | — → %.0f | — → %.1f | — → %s | — → %s |\n",
-				r.Name, r.SlotsPerSec, r.CellsPerSec, r.AllocsPerSlot, tailCell(r.Percentiles, 99), tailCell(r.Percentiles, 99.9))
+			fmt.Fprintf(w, "| %s | — | %.0f | new | — → %.0f | — → %.1f | — → %s | — → %s |%s\n",
+				r.Name, r.SlotsPerSec, r.CellsPerSec, r.AllocsPerSlot, tailCell(r.Percentiles, 99), tailCell(r.Percentiles, 99.9), qos)
 			continue
 		}
 		delta := (r.SlotsPerSec/b.SlotsPerSec - 1) * 100
@@ -523,10 +629,10 @@ func printDelta(w io.Writer, baselinePath string, cur benchFile, gatePct float64
 			mark = " ⚠"
 			flagged++
 		}
-		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s | %s | %.1f → %.1f | %s → %s | %s → %s |\n",
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s | %s | %.1f → %.1f | %s | %s |%s\n",
 			r.Name, b.SlotsPerSec, r.SlotsPerSec, delta, mark, cells, b.AllocsPerSlot, r.AllocsPerSlot,
-			tailCell(b.Percentiles, 99), tailCell(r.Percentiles, 99),
-			tailCell(b.Percentiles, 99.9), tailCell(r.Percentiles, 99.9))
+			tailDeltaCell(b.Percentiles, r.Percentiles, 99),
+			tailDeltaCell(b.Percentiles, r.Percentiles, 99.9), qos)
 	}
 	return flagged, nil
 }
@@ -566,6 +672,54 @@ func tailCell(q *ppsim.DelayQuantiles, p float64) string {
 		return fmt.Sprintf("%d", q.RQD.P999)
 	}
 	return fmt.Sprintf("%d", q.RQD.P99)
+}
+
+// tailValue extracts one rqd quantile; callers must have checked the block
+// is non-nil with samples (tailCell != "—").
+func tailValue(q *ppsim.DelayQuantiles, p float64) int64 {
+	if p >= 99.9 {
+		return q.RQD.P999
+	}
+	return q.RQD.P99
+}
+
+// tailDeltaCell renders one rqd tail column (base → new) with a percent
+// delta. A side without a percentile block keeps tailCell's em dash; a
+// zero-valued baseline quantile follows the cells/s column's "— →"
+// convention, since a percent of a zero baseline is a division-by-zero
+// artifact rather than a delta; a negative baseline (PPS beating the
+// shadow) renders both sides without a percent.
+func tailDeltaCell(bq, cq *ppsim.DelayQuantiles, p float64) string {
+	bs, cs := tailCell(bq, p), tailCell(cq, p)
+	if bs == "—" || cs == "—" {
+		return bs + " → " + cs
+	}
+	b, c := tailValue(bq, p), tailValue(cq, p)
+	switch {
+	case b == 0:
+		return fmt.Sprintf("— → %d", c)
+	case b < 0:
+		return fmt.Sprintf("%d → %d", b, c)
+	default:
+		return fmt.Sprintf("%d → %d (%+.1f%%)", b, c, (float64(c)/float64(b)-1)*100)
+	}
+}
+
+// qosCell renders one admission QoS column side pair (goodput or on-time
+// fraction). A zero side means the figure was not recorded (policy-free
+// run) and shows an em dash; with both sides present a percent delta rides
+// along. These columns are informational — they never gate.
+func qosCell(b, c float64) string {
+	switch {
+	case b <= 0 && c <= 0:
+		return "—"
+	case b <= 0:
+		return fmt.Sprintf("— → %.3f", c)
+	case c <= 0:
+		return fmt.Sprintf("%.3f → —", b)
+	default:
+		return fmt.Sprintf("%.3f → %.3f (%+.1f%%)", b, c, (c/b-1)*100)
+	}
 }
 
 // tailRegressed reports whether a new rqd tail quantile (p99 or p999)

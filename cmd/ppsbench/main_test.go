@@ -132,16 +132,16 @@ func TestPrintDeltaTailColumns(t *testing.T) {
 		t.Errorf("flagged = %d, want 6 (slow + cells + tail + tail999 + zero99 + zero999)\n%s", flagged, out)
 	}
 	for _, want := range []string{
-		"| fine | 1000 | 950 | -5.0% | — → 0 | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
+		"| fine | 1000 | 950 | -5.0% | — → 0 | 0.0 → 0.0 | 10 → 10 (+0.0%) | 20 → 20 (+0.0%) |",
 		"| slow | 1000 | 500 | -50.0% ⚠ |",
-		"| cells | 1000 | 1000 | +0.0% ⚠ | 4000 → 2000 (-50.0%) | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
-		"| cellsup | 1000 | 1000 | +0.0% | 4000 → 8000 (+100.0%) | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
-		"| nocells | 1000 | 1000 | +0.0% | — → 500 | 0.0 → 0.0 | 10 → 10 | 20 → 20 |",
-		"| tail | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 30 | 20 → 60 |",
-		"| tail999 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 10 | 20 → 60 |",
-		"| zero99 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 0 → 2 | 20 → 20 |",
-		"| zero999 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 10 | 0 → 2 |",
-		"| zerook | 1000 | 1000 | +0.0% | — → 0 | 0.0 → 0.0 | 0 → 1 | 0 → 1 |",
+		"| cells | 1000 | 1000 | +0.0% ⚠ | 4000 → 2000 (-50.0%) | 0.0 → 0.0 | 10 → 10 (+0.0%) | 20 → 20 (+0.0%) |",
+		"| cellsup | 1000 | 1000 | +0.0% | 4000 → 8000 (+100.0%) | 0.0 → 0.0 | 10 → 10 (+0.0%) | 20 → 20 (+0.0%) |",
+		"| nocells | 1000 | 1000 | +0.0% | — → 500 | 0.0 → 0.0 | 10 → 10 (+0.0%) | 20 → 20 (+0.0%) |",
+		"| tail | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 30 (+200.0%) | 20 → 60 (+200.0%) |",
+		"| tail999 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 10 (+0.0%) | 20 → 60 (+200.0%) |",
+		"| zero99 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | — → 2 | 20 → 20 (+0.0%) |",
+		"| zero999 | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | 10 → 10 (+0.0%) | — → 2 |",
+		"| zerook | 1000 | 1000 | +0.0% | — → 0 | 0.0 → 0.0 | — → 1 | — → 1 |",
 		"| notail | 1000 | 1000 | +0.0% | — → 0 | 0.0 → 0.0 | — → 5 | — → 9 |",
 	} {
 		if !strings.Contains(out, want) {
@@ -160,6 +160,89 @@ func TestPrintDeltaTailColumns(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "⚠") {
 		t.Error("gate 0 should not mark any row")
+	}
+}
+
+// TestPrintDeltaZeroDelayBaseline is the regression test for the
+// zero-baseline percentile convention: a synthetic baseline whose delay
+// quantiles are all zero (a short or perfectly-scheduled run) must render
+// its tail columns with the cells/s column's "— →" convention — never a
+// division-by-zero artifact — while growth past the zero baseline still
+// gates through the more-than-one-slot rule.
+func TestPrintDeltaZeroDelayBaseline(t *testing.T) {
+	base := benchFile{Rev: "base", Results: []benchResult{
+		{benchCase: benchCase{Name: "z"}, SlotsPerSec: 1000, Percentiles: quantiles(0, 0)},
+	}}
+	cur := benchFile{Rev: "cur", Results: []benchResult{
+		{benchCase: benchCase{Name: "z"}, SlotsPerSec: 1000, Percentiles: quantiles(3, 5)},
+	}}
+	var sb strings.Builder
+	flagged, err := printDelta(&sb, writeBaseline(t, base), cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if want := "| z | 1000 | 1000 | +0.0% ⚠ | — → 0 | 0.0 → 0.0 | — → 3 | — → 5 |"; !strings.Contains(out, want) {
+		t.Errorf("zero-delay baseline row missing %q:\n%s", want, out)
+	}
+	if flagged != 1 {
+		t.Errorf("flagged = %d, want 1 (growth past a zero tail)", flagged)
+	}
+	for _, artifact := range []string{"NaN", "Inf", "%!"} {
+		if strings.Contains(out, artifact) {
+			t.Errorf("delta table contains formatting artifact %q:\n%s", artifact, out)
+		}
+	}
+}
+
+// TestPrintDeltaQoSColumns pins the admission columns: they appear only
+// when a side carries goodput / on-time figures, policy-free sides render
+// an em dash, and a goodput regression never flags — the columns are
+// informational, the gate stays on throughput and tails.
+func TestPrintDeltaQoSColumns(t *testing.T) {
+	base := benchFile{Rev: "base", Results: []benchResult{
+		{benchCase: benchCase{Name: "plain"}, SlotsPerSec: 1000},
+		{benchCase: benchCase{Name: "qos"}, SlotsPerSec: 1000, Goodput: 0.9, OnTimeFraction: 0.95},
+	}}
+	cur := benchFile{Rev: "cur", Results: []benchResult{
+		{benchCase: benchCase{Name: "plain"}, SlotsPerSec: 1000, Goodput: 0.55, OnTimeFraction: 0.81},
+		{benchCase: benchCase{Name: "qos"}, SlotsPerSec: 1000, Goodput: 0.5, OnTimeFraction: 0.8},
+	}}
+	var sb strings.Builder
+	flagged, err := printDelta(&sb, writeBaseline(t, base), cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "goodput (base → new) | on-time (base → new) |") {
+		t.Errorf("QoS header columns missing:\n%s", out)
+	}
+	for _, want := range []string{
+		"| plain | 1000 | 1000 | +0.0% | — → 0 | 0.0 → 0.0 | — → — | — → — | — → 0.550 | — → 0.810 |",
+		"| qos | 1000 | 1000 | +0.0% | — → 0 | 0.0 → 0.0 | — → — | — → — | 0.900 → 0.500 (-44.4%) | 0.950 → 0.800 (-15.8%) |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("QoS table missing %q:\n%s", want, out)
+		}
+	}
+	if flagged != 0 {
+		t.Errorf("flagged = %d, want 0 — QoS columns must never gate", flagged)
+	}
+
+	// A compare between two policy-free files keeps the legacy eight-column
+	// layout: no QoS headers at all.
+	oldBase := benchFile{Rev: "oldbase", Results: []benchResult{
+		{benchCase: benchCase{Name: "plain"}, SlotsPerSec: 1000},
+	}}
+	oldCur := benchFile{Rev: "oldcur", Results: []benchResult{
+		{benchCase: benchCase{Name: "plain"}, SlotsPerSec: 1100},
+	}}
+	sb.Reset()
+	if _, err := printDelta(&sb, writeBaseline(t, oldBase), oldCur, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "goodput") {
+		t.Errorf("policy-free compare grew QoS columns:\n%s", sb.String())
 	}
 }
 
@@ -212,7 +295,7 @@ func TestTailRegressed(t *testing.T) {
 // idle-invariant algorithm lands on the event core with no degradation.
 func TestRunRecordsPercentiles(t *testing.T) {
 	c := benchCase{Name: "t", Traffic: "uniform", N: 8, K: 2, RPrime: 2, Slots: 400, Seed: 1}
-	res, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineAuto, false)
+	res, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineAuto, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +317,7 @@ func TestRunRecordsPercentiles(t *testing.T) {
 // pre-schema JSON diffs stay stable).
 func TestRunRecordsShardGeometry(t *testing.T) {
 	c := benchCase{Name: "t", Traffic: "uniform", N: 64, K: 2, RPrime: 2, Slots: 200, Seed: 1}
-	par, err := run(c, 4, nil, ppsim.FaultAbort, ppsim.EngineAuto, false)
+	par, err := run(c, 4, nil, ppsim.FaultAbort, ppsim.EngineAuto, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +331,7 @@ func TestRunRecordsShardGeometry(t *testing.T) {
 	if len(par.ShardPorts) != 4 || total != c.N {
 		t.Errorf("ShardPorts = %v, want 4 shards covering %d ports", par.ShardPorts, c.N)
 	}
-	ser, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineAuto, false)
+	ser, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineAuto, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,11 +348,11 @@ func TestRunRecordsShardGeometry(t *testing.T) {
 // the engine record and the wall-clock figures, never a measurement.
 func TestRunForcedSteppedMatchesEvent(t *testing.T) {
 	c := benchCase{Name: "t", Traffic: "bursty-low", N: 32, K: 8, RPrime: 2, Slots: 600, Seed: 1}
-	stepped, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineStepped, false)
+	stepped, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineStepped, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	event, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineEvent, false)
+	event, err := run(c, 0, nil, ppsim.FaultAbort, ppsim.EngineEvent, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,7 +30,19 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	admSpec := flag.String("admission", "", "override the admission experiment's (E28) token-bucket policy, e.g. rate:1/4,burst:4")
+	deadline := flag.Int64("deadline", 0, "stamp the admission experiment's (E28) traffic with deadlines of arrival slot + N (0 = off)")
 	flag.Parse()
+
+	adm, err := ppsim.ParseAdmissionSpec(*admSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppsexp:", err)
+		os.Exit(2)
+	}
+	if *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "ppsexp: -deadline must be >= 0")
+		os.Exit(2)
+	}
 
 	reg := ppsim.NewMetricsRegistry()
 	if *debugAddr != "" {
@@ -69,7 +81,10 @@ func main() {
 		}
 	}
 
-	opts := experiments.Opts{Quick: *quick}
+	opts := experiments.Opts{Quick: *quick, DeadlineRel: ppsim.Time(*deadline)}
+	if !adm.Empty() {
+		opts.Admission = adm
+	}
 	failures := 0
 	for _, e := range selected {
 		start := time.Now()

@@ -48,6 +48,8 @@ func main() {
 		faultSpec  = flag.String("faults", "", "fault schedule, e.g. fail:0@100,recover:0@500,loss:2@0.001,seed:7")
 		faultPol   = flag.String("fault-policy", "abort", "degradation policy: abort or dropcount")
 		faultaware = flag.Bool("faultaware", false, "wrap the algorithm with failure-aware dispatch (masks failed planes)")
+		admSpec    = flag.String("admission", "", "admission policy, e.g. rate:1/2,burst:16,agg-rate:8,agg-burst:64,deadline")
+		deadline   = flag.Int64("deadline", 0, "stamp each arrival with a departure deadline of its arrival slot + N (0 = off)")
 	)
 	flag.Parse()
 
@@ -85,6 +87,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	adm, err := ppsim.ParseAdmissionSpec(*admSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "ppssim: -deadline must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
 	if schedule.HasLoss() && policy != ppsim.FaultDropCount {
 		fmt.Fprintln(os.Stderr, "ppssim: -faults loss terms require -fault-policy dropcount")
 		flag.Usage()
@@ -117,6 +130,10 @@ func main() {
 	if *shapeB >= 0 {
 		src = ppsim.Shape(*n, *shapeB, src)
 	}
+	// Deadlines wrap outermost so they stamp the post-shaping arrival slot.
+	if *deadline > 0 {
+		src = ppsim.WithDeadline(src, ppsim.Time(*deadline))
+	}
 
 	opts := ppsim.Options{
 		Horizon:     ppsim.Time(*slots) * 8,
@@ -126,6 +143,9 @@ func main() {
 		FaultPolicy: policy,
 		Engine:      eng,
 		FastForward: *fastfwd,
+	}
+	if !adm.Empty() {
+		opts.Admission = adm
 	}
 	if !schedule.Empty() {
 		opts.Faults = schedule

@@ -1,0 +1,304 @@
+package admission
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppsim/internal/cell"
+)
+
+func mustParse(t *testing.T, spec string) *Spec {
+	t.Helper()
+	s, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return s
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"rate:1,burst:1",
+		"rate:1/2,burst:16",
+		"rate:3/4,burst:8,agg-rate:8,agg-burst:64",
+		"agg-rate:2/3,agg-burst:4",
+		"rate:1/2,burst:16,deadline",
+		"deadline",
+	}
+	for _, spec := range cases {
+		s := mustParse(t, spec)
+		if got := s.String(); got != spec {
+			t.Errorf("ParseSpec(%q).String() = %q", spec, got)
+		}
+		again := mustParse(t, s.String())
+		if *again != *s {
+			t.Errorf("round-trip of %q changed spec: %+v vs %+v", spec, again, s)
+		}
+	}
+}
+
+func TestParseSpecNormalizes(t *testing.T) {
+	// Items may arrive in any order with whitespace; burst defaults to 1
+	// when a rate is given alone; "always" and "" are the zero spec.
+	s := mustParse(t, " burst:4 , rate:1/2 ")
+	want := Spec{RateNum: 1, RateDen: 2, Burst: 4}
+	if *s != want {
+		t.Fatalf("got %+v, want %+v", *s, want)
+	}
+	if s := mustParse(t, "rate:2"); s.Burst != 1 || s.RateDen != 1 {
+		t.Fatalf("bare rate should default den=1 burst=1, got %+v", *s)
+	}
+	for _, spec := range []string{"", "always", "  "} {
+		s := mustParse(t, spec)
+		if !s.Empty() || s.Name() != "always" {
+			t.Errorf("ParseSpec(%q) = %+v, want empty always-admit", spec, *s)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"rate:0,burst:1",          // zero rate
+		"rate:-1,burst:1",         // negative rate
+		"rate:1/0,burst:1",        // zero denominator
+		"rate:1/2,burst:0",        // zero burst
+		"burst:4",                 // burst without rate
+		"agg-burst:4",             // agg-burst without agg-rate
+		"deadline:5",              // deadline takes no argument
+		"always,deadline",         // always must stand alone
+		"shape:3",                 // unknown verb
+		"rate",                    // missing colon
+		"rate:1/2,burst:-3",       // negative burst
+		"rate:1073741825,burst:1", // term over the overflow bound
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestSpecNames(t *testing.T) {
+	cases := map[string]string{
+		"":                          "always",
+		"rate:1/2,burst:4":          "token-bucket",
+		"deadline":                  "deadline-drop",
+		"rate:1/2,burst:4,deadline": "token-bucket+deadline-drop",
+	}
+	for spec, want := range cases {
+		if got := mustParse(t, spec).Name(); got != want {
+			t.Errorf("Name(%q) = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+// TestBucketBoundary drives a 1/2-rate, burst-2 bucket through the
+// exactly-empty and exactly-full boundary slots: the bucket must admit its
+// full burst back-to-back, refuse at exactly-empty, readmit only once a
+// whole cell's worth of tokens (two slots at rate 1/2) has accumulated,
+// and cap refill at exactly-full after long idleness.
+func TestBucketBoundary(t *testing.T) {
+	rt := NewRuntime(mustParse(t, "rate:1/2,burst:2"), 1)
+	admit := func(slot int64) bool { return rt.Admit(cell.Time(slot), 0) }
+
+	// Full bucket at t=0: the burst of 2 goes through, the third is refused
+	// at exactly-empty.
+	for i := 0; i < 2; i++ {
+		if !admit(0) {
+			t.Fatalf("burst cell %d at t=0 refused", i)
+		}
+	}
+	if admit(0) {
+		t.Fatal("admitted past the burst at exactly-empty")
+	}
+	// One slot refills half a cell — still short.
+	if admit(1) {
+		t.Fatal("admitted with half a token")
+	}
+	// t=2 would have exactly one cell of tokens, but the refused probes at
+	// t=0 and t=1 consumed nothing, so the balance must be exact: the slot-2
+	// admission succeeds and leaves the bucket exactly empty again.
+	if !admit(2) {
+		t.Fatal("refused at exactly one accumulated cell")
+	}
+	if admit(2) {
+		t.Fatal("admitted twice from one accumulated cell")
+	}
+	// Long idleness saturates at exactly-full (burst 2), not beyond: after
+	// any gap only 2 back-to-back cells fit.
+	for i := 0; i < 2; i++ {
+		if !admit(1_000_000) {
+			t.Fatalf("post-idle burst cell %d refused", i)
+		}
+	}
+	if admit(1_000_000) {
+		t.Fatal("bucket exceeded its burst after long idleness")
+	}
+}
+
+// TestBucketClosedFormMatchesStepped is the engine-equivalence core
+// property: a bucket refilled lazily over arrival gaps must make the same
+// decisions as one ticked every slot.
+func TestBucketClosedFormMatchesStepped(t *testing.T) {
+	const horizon = 4096
+	spec := mustParse(t, "rate:3/7,burst:5")
+	lazy := NewRuntime(spec, 1)
+	// Stepped reference: integer tokens in 1/7 units, +3 per slot, cap 35.
+	tokens := int64(35)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for slot := int64(0); slot < horizon; slot++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if slot > 0 {
+			if tokens += 3; tokens > 35 {
+				tokens = 35
+			}
+		}
+		if rng%3 == 0 { // sparse arrivals: lazy refill spans multi-slot gaps
+			want := tokens >= 7
+			if want {
+				tokens -= 7
+			}
+			if got := lazy.Admit(cell.Time(slot), 0); got != want {
+				t.Fatalf("slot %d: lazy=%v stepped=%v", slot, got, want)
+			}
+		}
+	}
+}
+
+// TestAggregateAtomicity checks a refused cell consumes nothing from
+// either bucket: with a per-input burst of 1 and an exhausted aggregate,
+// the input bucket must still hold its token for the next slot.
+func TestAggregateAtomicity(t *testing.T) {
+	rt := NewRuntime(mustParse(t, "rate:1,burst:1,agg-rate:1/4,agg-burst:1"), 2)
+	if !rt.Admit(0, 0) {
+		t.Fatal("first cell refused")
+	}
+	// Aggregate is empty; input 1's bucket is full but must not drain.
+	if rt.Admit(0, 1) {
+		t.Fatal("admitted past the aggregate burst")
+	}
+	// Aggregate refills one cell by t=4; input 1 must still have its token.
+	if !rt.Admit(4, 1) {
+		t.Fatal("input bucket drained by a refused cell")
+	}
+	// And input 1 is now empty until its own refill.
+	if rt.Admit(4, 1) {
+		t.Fatal("admitted with an empty input bucket")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	ddl := NewRuntime(mustParse(t, "deadline"), 1)
+	off := NewRuntime(mustParse(t, ""), 1)
+	cases := []struct {
+		t, deadline cell.Time
+		want        bool
+	}{
+		{5, 0, false},  // no deadline stamp
+		{5, 5, false},  // exactly on time
+		{5, 6, false},  // early
+		{6, 5, true},   // past
+		{100, 1, true}, // long past
+	}
+	for _, c := range cases {
+		if got := ddl.Expired(c.t, c.deadline); got != c.want {
+			t.Errorf("Expired(%d, %d) = %v, want %v", c.t, c.deadline, got, c.want)
+		}
+		if off.Expired(c.t, c.deadline) {
+			t.Errorf("Expired(%d, %d) true with deadline enforcement off", c.t, c.deadline)
+		}
+	}
+}
+
+// TestConservationQuick is the satellite property test: for 1k random
+// (rate, burst, load) configurations, every offered cell is either
+// admitted or rejected — never both, never neither — and admissions never
+// exceed what the token arithmetic allows.
+func TestConservationQuick(t *testing.T) {
+	type config struct {
+		RateNum, RateDen, Burst  uint8
+		AggNum, AggDen, AggBurst uint8
+		LoadPct                  uint8
+		Seed                     uint64
+	}
+	check := func(c config) bool {
+		const n, horizon = 4, 512
+		s := &Spec{
+			RateNum: int64(c.RateNum%8) + 1,
+			RateDen: int64(c.RateDen%8) + 1,
+			Burst:   int64(c.Burst%16) + 1,
+		}
+		if c.AggNum%2 == 0 {
+			s.AggRateNum = int64(c.AggNum%8) + 1
+			s.AggRateDen = int64(c.AggDen%8) + 1
+			s.AggBurst = int64(c.AggBurst%32) + 1
+		}
+		if err := s.Validate(); err != nil {
+			t.Logf("generated invalid spec %+v: %v", s, err)
+			return false
+		}
+		rt := NewRuntime(s, n)
+		load := uint64(c.LoadPct%150) + 1 // percent, deliberately past 100
+		rng := c.Seed | 1
+		var offered, admitted, rejected uint64
+		for slot := int64(0); slot < horizon; slot++ {
+			for in := 0; in < n; in++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				if rng%100 >= load {
+					continue
+				}
+				offered++
+				if rt.Admit(cell.Time(slot), cell.Port(in)) {
+					admitted++
+				} else {
+					rejected++
+				}
+			}
+		}
+		if offered != admitted+rejected {
+			t.Logf("spec %q: offered %d != admitted %d + rejected %d", s, offered, admitted, rejected)
+			return false
+		}
+		// Token arithmetic upper bound: each input can admit at most
+		// burst + ceil(horizon * num/den) cells over the run.
+		perInput := uint64(s.Burst) + uint64((horizon*s.RateNum+s.RateDen-1)/s.RateDen)
+		if admitted > uint64(n)*perInput {
+			t.Logf("spec %q: admitted %d exceeds token bound %d", s, admitted, uint64(n)*perInput)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefillOverflowSaturates(t *testing.T) {
+	// A gap so large that gap*num would overflow int64 must saturate the
+	// bucket at capacity, not wrap negative.
+	rt := NewRuntime(mustParse(t, "rate:1073741824/3,burst:1073741824"), 1)
+	if !rt.Admit(0, 0) {
+		t.Fatal("full bucket refused at t=0")
+	}
+	far := cell.Time(int64(1) << 62)
+	for i := 0; i < 3; i++ {
+		if !rt.Admit(far, 0) {
+			t.Fatalf("cell %d refused after huge idle gap (refill overflowed?)", i)
+		}
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	var s *Spec
+	if err := s.Validate(); err != nil {
+		t.Fatalf("nil spec Validate: %v", err)
+	}
+	if !s.Empty() || s.Name() != "always" || s.String() != "" {
+		t.Fatal("nil spec should behave as always-admit")
+	}
+}

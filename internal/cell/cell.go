@@ -70,6 +70,12 @@ type Cell struct {
 
 	// Depart is the slot the cell left the switch on its external line.
 	Depart Time
+
+	// Deadline is the absolute slot by which the cell must depart to count
+	// as on time, assigned at admission from the arrival's deadline stamp.
+	// Zero means no deadline (real deadlines are always >= 1 because the
+	// traffic deadline wrapper assigns arrival slot + a positive offset).
+	Deadline Time
 }
 
 // New returns a cell arriving at slot t on flow f with the given global and

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"ppsim/internal/admission"
 	"ppsim/internal/cell"
 	"ppsim/internal/traffic"
 )
@@ -25,6 +26,14 @@ type Opts struct {
 	// Quick shrinks sweeps for use in unit tests and benchmarks; the full
 	// suite (cmd/ppsexp, EXPERIMENTS.md) runs with Quick=false.
 	Quick bool
+	// Admission optionally overrides the token-bucket spec the admission
+	// experiment (E28) compares against always-admit; nil/empty keeps E28's
+	// default policy. Other experiments ignore it.
+	Admission *admission.Spec
+	// DeadlineRel, when positive, additionally stamps E28's traffic with
+	// per-cell departure deadlines of arrival slot + DeadlineRel, so the
+	// expired column becomes active. Other experiments ignore it.
+	DeadlineRel cell.Time
 }
 
 // Table is one regenerated result.

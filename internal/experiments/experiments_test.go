@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27", "E28"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -114,6 +114,44 @@ func TestE23BoundsRespected(t *testing.T) {
 		measured := mustAtoi(t, row[2])
 		if float64(measured) > bound {
 			t.Errorf("%s: measured %d exceeds calculus bound %f", row[0], measured, bound)
+		}
+	}
+}
+
+// TestE28TokenBucketDominates checks the H-ADM dominance claim at quick
+// scale: on every seed the token-bucket policy's delivered-cell p999 RQD
+// stays below always-admit's, the bucket actually rejects cells under the
+// 3.2x overload, and always-admit delivers everything it was offered.
+func TestE28TokenBucketDominates(t *testing.T) {
+	tab, err := e28Admission(Opts{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always := map[string]int{}
+	for _, row := range tab.Rows {
+		if row[0] == "always" {
+			always[row[1]] = mustAtoi(t, row[10])
+			if row[2] != row[6] {
+				t.Errorf("seed %s: always-admit delivered %s of %s offered", row[1], row[6], row[2])
+			}
+		}
+	}
+	if len(always) < 2 {
+		t.Fatalf("dominance check needs >= 2 seeds, got %d", len(always))
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "always" {
+			continue
+		}
+		base, ok := always[row[1]]
+		if !ok {
+			t.Fatalf("no always-admit row for seed %s", row[1])
+		}
+		if rejected := mustAtoi(t, row[4]); rejected == 0 {
+			t.Errorf("seed %s: token bucket rejected nothing under 3.2x overload", row[1])
+		}
+		if tb := mustAtoi(t, row[10]); tb >= base {
+			t.Errorf("seed %s: token-bucket p999 rqd %d not below always-admit %d", row[1], tb, base)
 		}
 	}
 }

@@ -121,7 +121,7 @@ func (s *slotStepper) step() {
 		s.rec.ShadowDepart(d)
 	}
 	if s.tel != nil {
-		s.tel.Tick(int64(s.slot), s.pps.Backlog(), s.rec.Matched(), s.rec.Drops())
+		s.tel.Tick(int64(s.slot), s.pps.Backlog(), s.rec.Matched(), s.rec.Drops(), s.rec.AdmittedTotal(), s.rec.RejectedTotal(), s.rec.ExpiredTotal())
 		if s.slot%telemetryFlushStride == 0 {
 			s.tel.ObserveDelays(s.rec.Delays(), s.telPrev)
 		}

@@ -193,7 +193,7 @@ func TestFastForwardSlotAllocFree(t *testing.T) {
 		s.step()
 	}
 	probes := obs.StandardProbes(cfg.N, cfg.K, 4, 32)
-	view := &slotView{pps: s.pps, sh: s.sh}
+	view := &slotView{pps: s.pps, sh: s.sh, rec: s.rec}
 	// Warm every ring past capacity (stride 4 x cap 32 < 192 slots) so the
 	// measured spans exercise the steady-state overwrite path, not append
 	// growth.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ppsim/internal/admission"
 	"ppsim/internal/cell"
 	"ppsim/internal/demux"
 	"ppsim/internal/fabric"
@@ -49,6 +50,16 @@ type Options struct {
 	// faults.DropCount (accounted losses, Result.Drops). Forwarded to
 	// fabric.Config.FaultPolicy when the config leaves it Abort.
 	FaultPolicy faults.Policy
+	// Admission is the policy evaluated in front of the demux, in the
+	// serial recorder-side arrival phase: every offered arrival is admitted
+	// (stamped and fed to both switches), rejected by a token bucket, or —
+	// under deadline-drop — expired. nil and the empty always-admit spec
+	// are byte-identical to no admission at all. Deliveries that miss their
+	// deadline under deadline-drop are reclassified as expired at egress
+	// rather than intercepted in the mux stage, so every engine and worker
+	// configuration stays bit-identical (DESIGN.md §14). The spec is
+	// validated before the run starts.
+	Admission *admission.Spec
 	// Utilization computes Result.Utilization, the per-output busy
 	// fractions. Opt-in: it is O(N) per run and most internal callers
 	// never read it; the public ppsim.Run turns it on to keep its
@@ -161,6 +172,13 @@ type Result struct {
 	// worker w — or nil for the serial engine. Recorded so benchmark JSON
 	// can attribute throughput to the shard geometry that produced it.
 	ShardPorts []int
+	// Goodput is delivered (matched) cells per slot over the whole run —
+	// the throughput that survived admission, faults and deadlines.
+	Goodput float64
+	// OnTimeFraction mirrors Report.OnTimeFraction: deliveries that met
+	// their deadline (no-deadline cells count as on time) over offered
+	// arrivals. 1.0 for a clean full-delivery run.
+	OnTimeFraction float64
 }
 
 // Run executes src through a fresh PPS built from cfg and factory, and
@@ -227,6 +245,7 @@ type shadowSlot struct {
 type slotView struct {
 	pps   *fabric.PPS
 	sh    *shadow.Switch
+	rec   *metrics.Recorder
 	slot  cell.Time
 	rqd   cell.Time
 	rqdOK bool
@@ -246,6 +265,9 @@ func (v *slotView) ShadowInFlight() int       { return v.sh.Backlog() }
 func (v *slotView) FrontRQD() (int64, bool)   { return int64(v.rqd), v.rqdOK }
 func (v *slotView) LivePlanes() int           { return v.pps.LivePlanes() }
 func (v *slotView) DroppedTotal() uint64      { return v.pps.Dropped() }
+func (v *slotView) AdmittedTotal() uint64     { return v.rec.AdmittedTotal() }
+func (v *slotView) RejectedTotal() uint64     { return v.rec.RejectedTotal() }
+func (v *slotView) ExpiredTotal() uint64      { return v.rec.ExpiredTotal() }
 
 // driver bundles the per-run state shared by the slot-execution cores
 // (runStepped, runEvent) and Drive's teardown: both switches, the stamper,
@@ -265,6 +287,10 @@ type driver struct {
 	tel     *obs.Telemetry
 	telPrev *obs.DelaySet
 	look    traffic.Lookahead
+	// adm is the admission runtime, nil under always-admit (nil or empty
+	// spec) — the gate in feedSlot then reduces to the bare counters, so a
+	// run without admission is byte-identical to the pre-admission harness.
+	adm *admission.Runtime
 
 	buf                    []traffic.Arrival
 	deps, shDeps, cellsBuf []cell.Cell
@@ -273,9 +299,14 @@ type driver struct {
 	slot cell.Time
 }
 
-// feedSlot reads, validates and stamps slot t's arrivals into the reusable
-// cell buffer. Both switches copy cells into their own queues, so the
-// scratch slice is safe to reuse across slots.
+// feedSlot reads, validates, admits and stamps slot t's arrivals into the
+// reusable cell buffer. The admission gate runs here — in the serial
+// recorder-side arrival phase, before stamping — so rejected arrivals are
+// never stamped: sequence numbers stay dense and the PPS, the shadow switch
+// and every engine see the identical admitted stream. The validator observes
+// the *offered* traffic (burstiness measures what was asked of the switch,
+// not what the policy let through). Both switches copy cells into their own
+// queues, so the scratch slice is safe to reuse across slots.
 func (d *driver) feedSlot(t cell.Time) ([]cell.Cell, error) {
 	cells := d.cellsBuf[:0]
 	d.buf = d.src.Arrivals(t, d.buf[:0])
@@ -285,7 +316,24 @@ func (d *driver) feedSlot(t cell.Time) ([]cell.Cell, error) {
 		}
 	}
 	for _, a := range d.buf {
-		cells = append(cells, d.st.Stamp(cell.Flow{In: a.In, Out: a.Out}, t))
+		d.rec.OfferCell()
+		if d.adm != nil {
+			// Deadline expiry is checked before the token bucket: a cell
+			// that is already late must not consume tokens a timely cell
+			// could have used.
+			if d.adm.Expired(t, a.Deadline) {
+				d.rec.ExpireAtAdmission()
+				continue
+			}
+			if !d.adm.Admit(t, a.In) {
+				d.rec.RejectCell(a.In)
+				continue
+			}
+		}
+		d.rec.AdmitCell()
+		c := d.st.Stamp(cell.Flow{In: a.In, Out: a.Out}, t)
+		c.Deadline = a.Deadline
+		cells = append(cells, c)
 	}
 	d.cellsBuf = cells
 	return cells, nil
@@ -294,10 +342,21 @@ func (d *driver) feedSlot(t cell.Time) ([]cell.Cell, error) {
 // recordDepartures feeds the slot's PPS departures and drops into the
 // recorder (and the caller's observer). Only the driving goroutine touches
 // the recorder, in the serial order: PPS departures, drops, then shadow
-// departures.
+// departures. Under deadline-drop admission a delivery that missed its
+// deadline is reclassified here as expired — the lazy-egress design of
+// DESIGN.md §14: the cell physically traversed the fabric (so the mux stage
+// stays engine-identical), but it counts as dropped at resequencing, not as
+// a delivery.
 func (d *driver) recordDepartures() {
 	for _, c := range d.deps {
+		if d.adm != nil && d.adm.Expired(c.Depart, c.Deadline) {
+			d.rec.PPSExpired(c)
+			continue
+		}
 		d.rec.PPSDepart(c)
+		if c.Deadline == 0 || c.Depart <= c.Deadline {
+			d.rec.OnTimeCell()
+		}
 		if d.opts.OnPPSDepart != nil {
 			d.opts.OnPPSDepart(c)
 		}
@@ -436,7 +495,7 @@ func (d *driver) runStepped(elide bool) error {
 			d.sampleSlot(slot)
 		}
 		if d.tel != nil {
-			d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops())
+			d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops(), d.rec.AdmittedTotal(), d.rec.RejectedTotal(), d.rec.ExpiredTotal())
 			if slot%telemetryFlushStride == 0 {
 				d.tel.ObserveDelays(d.rec.Delays(), d.telPrev)
 			}
@@ -518,7 +577,7 @@ func (d *driver) runEvent() error {
 			d.sampleSlot(slot)
 		}
 		if d.tel != nil {
-			d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops())
+			d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops(), d.rec.AdmittedTotal(), d.rec.RejectedTotal(), d.rec.ExpiredTotal())
 			// Flush cadence counts executed slots, not wall-clock slots: a
 			// mostly-elided run would otherwise flush on almost every
 			// executed slot (or never), defeating the coarse stride.
@@ -575,9 +634,15 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 	if opts.Validate {
 		d.vd = traffic.NewValidator(cfg.N)
 	}
+	if err := opts.Admission.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !opts.Admission.Empty() {
+		d.adm = admission.NewRuntime(opts.Admission, cfg.N)
+	}
 	d.probing = len(opts.Probes) > 0
 	if d.probing {
-		d.view = &slotView{pps: pps, sh: sh}
+		d.view = &slotView{pps: pps, sh: sh, rec: d.rec}
 	}
 
 	// Live telemetry: explicit Options.Telemetry wins, else the process
@@ -608,7 +673,7 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 	slot := d.slot
 	if d.tel != nil {
 		d.tel.ObserveDelays(d.rec.Delays(), d.telPrev)
-		d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops())
+		d.tel.Tick(int64(slot), pps.Backlog(), d.rec.Matched(), d.rec.Drops(), d.rec.AdmittedTotal(), d.rec.RejectedTotal(), d.rec.ExpiredTotal())
 	}
 	if !pps.Drained() || !sh.Drained() {
 		return Result{}, fmt.Errorf("harness: not drained after %d slots (pps backlog %d, shadow backlog %d)",
@@ -640,6 +705,10 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		ShardPorts:     pps.ShardPorts(),
 	}
 	res.Drops = res.Report.Drops
+	res.OnTimeFraction = res.Report.OnTimeFraction
+	if slot > 0 {
+		res.Goodput = float64(res.Report.Cells) / float64(slot)
+	}
 	if d.vd != nil {
 		res.Burstiness = d.vd.Burstiness()
 	}
@@ -660,6 +729,12 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		m.Counter("harness_drops").Add(int64(res.Drops))
 		m.Gauge("harness_last_peak_plane_queue").Set(int64(res.PeakPlaneQueue))
 		m.Histogram("harness_max_rqd", 8, 64).Add(int64(res.Report.MaxRQD))
+		// Admission counters only when a policy shed something, so bare
+		// runs leave the registry exactly as before this layer existed.
+		if rej, exp := res.Report.Rejected, res.Report.ExpiredAdmit+res.Report.ExpiredReseq; rej > 0 || exp > 0 {
+			m.Counter("harness_rejected").Add(int64(rej))
+			m.Counter("harness_expired").Add(int64(exp))
+		}
 	}
 	return res, nil
 }
@@ -727,6 +802,10 @@ func (r Result) String() string {
 			pts += s.Len()
 		}
 		fmt.Fprintf(&b, "\nseries: %d (%d points)", len(r.Series), pts)
+	}
+	if rep := r.Report; rep.Rejected > 0 || rep.ExpiredAdmit > 0 || rep.ExpiredReseq > 0 {
+		fmt.Fprintf(&b, "\nadmission: offered=%d admitted=%d rejected=%d expired=%d goodput=%.4f onTime=%.3f",
+			rep.Offered, rep.Admitted, rep.Rejected, rep.ExpiredAdmit+rep.ExpiredReseq, r.Goodput, r.OnTimeFraction)
 	}
 	if r.TraceEvents > 0 {
 		fmt.Fprintf(&b, "\ntrace events: %d", r.TraceEvents)

@@ -73,6 +73,11 @@ func (m *minmax) jitter() cell.Time {
 // departure or a second drop for it is a harness bug.
 const dropMark = cell.Time(-2)
 
+// expiredMark flags a Seq whose cell left the PPS after its deadline under
+// deadline-drop admission: the delivery is reclassified as expired at
+// egress and excluded from every delay statistic, like a fault drop.
+const expiredMark = cell.Time(-3)
+
 // Recorder joins the two departure streams by global sequence number.
 // Departures may be reported in any order and from either switch first.
 // Cells the PPS dropped (failed planes under the DropCount policy) are
@@ -111,6 +116,19 @@ type Recorder struct {
 	matched  uint64
 	maxRQD   cell.Time
 	maxRQDok bool
+
+	// Admission accounting. offered and admitted are counted for every
+	// arrival the harness feeds, whether or not an admission policy is
+	// configured — a bare run and an always-admit run therefore produce
+	// byte-identical reports. rejected and the expiry counters only move
+	// when a policy actually refuses cells.
+	offered          uint64
+	admitted         uint64
+	rejected         uint64
+	rejectedPerInput []uint64
+	expiredAdmit     uint64
+	expiredReseq     uint64
+	onTime           uint64
 }
 
 // NewRecorder returns an empty recorder.
@@ -222,12 +240,63 @@ func (r *Recorder) PPSDrop(c cell.Cell) {
 // Drops reports the number of cells the PPS dropped so far.
 func (r *Recorder) Drops() uint64 { return r.drops }
 
+// OfferCell counts one arrival presented to admission. The harness calls it
+// for every arrival of every run — with or without a policy — so admission
+// bookkeeping never changes a report shape.
+func (r *Recorder) OfferCell() { r.offered++ }
+
+// AdmitCell counts one arrival the policy (or the always-admit default)
+// let into the switch; the cell is stamped and fed to both switches.
+func (r *Recorder) AdmitCell() { r.admitted++ }
+
+// RejectCell counts one arrival a token bucket refused on input in. The
+// cell is never stamped; neither switch sees it.
+func (r *Recorder) RejectCell(in cell.Port) {
+	r.rejected++
+	for int(in) >= len(r.rejectedPerInput) {
+		r.rejectedPerInput = append(r.rejectedPerInput, 0)
+	}
+	r.rejectedPerInput[in]++
+}
+
+// ExpireAtAdmission counts one arrival that was already past its deadline
+// when it reached the switch; like a rejection, it is never stamped.
+func (r *Recorder) ExpireAtAdmission() { r.expiredAdmit++ }
+
+// PPSExpired reclassifies a PPS delivery that happened after the cell's
+// deadline under deadline-drop admission: it satisfies the cell's slot in
+// the conservation audit (the shadow still departs it) but contributes to
+// no delay statistic.
+func (r *Recorder) PPSExpired(c cell.Cell) {
+	r.ppsDep = grow(r.ppsDep, c.Seq)
+	if r.ppsDep[c.Seq] != cell.None {
+		panic(fmt.Sprintf("metrics: PPS fate of cell %d recorded twice", c.Seq))
+	}
+	r.ppsDep[c.Seq] = expiredMark
+	r.expiredReseq++
+}
+
+// OnTimeCell counts one PPS delivery that met its deadline (cells without a
+// deadline stamp are on time by definition). The harness calls it alongside
+// PPSDepart so OnTimeFraction = on-time deliveries / offered cells.
+func (r *Recorder) OnTimeCell() { r.onTime++ }
+
+// AdmittedTotal, RejectedTotal and ExpiredTotal expose the live admission
+// counters for the per-slot probes and the telemetry aggregator.
+func (r *Recorder) AdmittedTotal() uint64 { return r.admitted }
+
+// RejectedTotal reports arrivals refused by a token bucket so far.
+func (r *Recorder) RejectedTotal() uint64 { return r.rejected }
+
+// ExpiredTotal reports deadline expiries so far (at admission and egress).
+func (r *Recorder) ExpiredTotal() uint64 { return r.expiredAdmit + r.expiredReseq }
+
 func (r *Recorder) tryMatch(seq uint64) {
 	if uint64(len(r.shadowDep)) <= seq || uint64(len(r.ppsDep)) <= seq {
 		return
 	}
 	sd, pd := r.shadowDep[seq], r.ppsDep[seq]
-	if sd == cell.None || pd == cell.None || pd == dropMark {
+	if sd == cell.None || pd == cell.None || pd == dropMark || pd == expiredMark {
 		return
 	}
 	d := pd - sd
@@ -255,7 +324,7 @@ func (r *Recorder) RQD(seq uint64) (cell.Time, bool) {
 		return 0, false
 	}
 	sd, pd := r.shadowDep[seq], r.ppsDep[seq]
-	if sd == cell.None || pd == cell.None || pd == dropMark {
+	if sd == cell.None || pd == cell.None || pd == dropMark || pd == expiredMark {
 		return 0, false
 	}
 	return pd - sd, true
@@ -302,6 +371,24 @@ type Report struct {
 	Drops         uint64
 	DropsPerPlane []uint64
 	DropsPerInput []uint64
+	// Admission accounting. Offered counts every arrival presented to the
+	// switch; Admitted those let in (stamped and fed to both switches).
+	// Rejected counts token-bucket refusals (per-input breakdown nil when
+	// none); ExpiredAdmit arrivals already past their deadline at admission;
+	// ExpiredReseq deliveries reclassified as late at egress. Conservation:
+	// Offered == Admitted + Rejected + ExpiredAdmit, and every admitted cell
+	// is matched, dropped or expired at egress.
+	Offered          uint64
+	Admitted         uint64
+	Rejected         uint64
+	RejectedPerInput []uint64
+	ExpiredAdmit     uint64
+	ExpiredReseq     uint64
+	// OnTime counts PPS deliveries that met their deadline (no-deadline
+	// cells are on time by definition); OnTimeFraction is OnTime / Offered —
+	// the timely-throughput figure of merit (0 when nothing was offered).
+	OnTime         uint64
+	OnTimeFraction float64
 	// Percentiles is the streaming-histogram percentile block: headline
 	// quantiles of the per-cell RQD, the three-stage delay decomposition
 	// (demux wait + plane queuing + resequencing wait; the components sum to
@@ -314,9 +401,22 @@ type Report struct {
 // accounted for: departed both switches, or departed the shadow and was
 // dropped by the PPS (the harness must drain both switches).
 func (r *Recorder) Report() Report {
-	if r.matched+r.drops != uint64(len(r.shadowDep)) || uint64(len(r.ppsDep)) > uint64(len(r.shadowDep)) {
-		panic(fmt.Sprintf("metrics: unmatched departures (shadow %d, pps %d, matched %d, dropped %d)",
-			len(r.shadowDep), len(r.ppsDep), r.matched, r.drops))
+	if r.matched+r.drops+r.expiredReseq != uint64(len(r.shadowDep)) || uint64(len(r.ppsDep)) > uint64(len(r.shadowDep)) {
+		panic(fmt.Sprintf("metrics: unmatched departures (shadow %d, pps %d, matched %d, dropped %d, expired %d)",
+			len(r.shadowDep), len(r.ppsDep), r.matched, r.drops, r.expiredReseq))
+	}
+	// Conservation audit on the admission side: every offered cell is
+	// admitted, rejected or expired-at-admission, and every admitted cell
+	// departed the shadow (the audit is skipped for bare recorders fed
+	// departures directly, which never call OfferCell).
+	if r.offered > 0 {
+		if r.offered != r.admitted+r.rejected+r.expiredAdmit {
+			panic(fmt.Sprintf("metrics: admission leak (offered %d, admitted %d, rejected %d, expired %d)",
+				r.offered, r.admitted, r.rejected, r.expiredAdmit))
+		}
+		if r.admitted != uint64(len(r.shadowDep)) {
+			panic(fmt.Sprintf("metrics: admitted %d cells but shadow departed %d", r.admitted, len(r.shadowDep)))
+		}
 	}
 	rep := Report{
 		Cells:          r.matched,
@@ -334,10 +434,22 @@ func (r *Recorder) Report() Report {
 		MaxPlaneWait:   cell.Time(r.planeWait.max),
 		MaxOutputWait:  cell.Time(r.outputWait.max),
 		Drops:          r.drops,
+		Offered:        r.offered,
+		Admitted:       r.admitted,
+		Rejected:       r.rejected,
+		ExpiredAdmit:   r.expiredAdmit,
+		ExpiredReseq:   r.expiredReseq,
+		OnTime:         r.onTime,
+	}
+	if r.offered > 0 {
+		rep.OnTimeFraction = float64(r.onTime) / float64(r.offered)
 	}
 	if r.drops > 0 {
 		rep.DropsPerPlane = append([]uint64(nil), r.dropsPerPlane...)
 		rep.DropsPerInput = append([]uint64(nil), r.dropsPerInput...)
+	}
+	if r.rejected > 0 {
+		rep.RejectedPerInput = append([]uint64(nil), r.rejectedPerInput...)
 	}
 	for f, mp := range r.flowPPS {
 		if mp.max > rep.MaxPPSDelay {
@@ -386,6 +498,12 @@ func (rep Report) String() string {
 		rep.Cells, rep.Flows, rep.MaxRQD, rep.MeanRQD, rep.P99RQD, rep.RDJ, rep.MaxPPSDelay, rep.MaxShadowDelay)
 	if rep.Drops > 0 {
 		s += fmt.Sprintf(" drops=%d", rep.Drops)
+	}
+	// Admission line only when a policy actually refused something, so
+	// always-admit output stays byte-identical to the pre-admission format.
+	if rep.Rejected > 0 || rep.ExpiredAdmit > 0 || rep.ExpiredReseq > 0 {
+		s += fmt.Sprintf(" offered=%d admitted=%d rejected=%d expired=%d onTime=%.3f",
+			rep.Offered, rep.Admitted, rep.Rejected, rep.ExpiredAdmit+rep.ExpiredReseq, rep.OnTimeFraction)
 	}
 	return s
 }

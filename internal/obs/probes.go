@@ -43,6 +43,14 @@ type SlotView interface {
 	// DroppedTotal is the cumulative number of cells lost to failed planes
 	// under the DropCount fault policy (always 0 under Abort).
 	DroppedTotal() uint64
+	// AdmittedTotal, RejectedTotal and ExpiredTotal are the cumulative
+	// admission counters: arrivals let into the switch, arrivals refused by
+	// a token bucket, and deadline expiries (at admission plus at egress).
+	// Without an admission policy AdmittedTotal still counts every arrival
+	// and the other two stay 0.
+	AdmittedTotal() uint64
+	RejectedTotal() uint64
+	ExpiredTotal() uint64
 }
 
 // Probe samples a SlotView once per slot into one or more Series. Probes
@@ -389,10 +397,49 @@ func (p *FaultProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
 	p.drops.ObserveSpan(from, to, float64(v.DroppedTotal()))
 }
 
+// AdmissionProbe samples the admission boundary: "admitted_total",
+// "rejected_total" and "expired_total" cumulative counters. Runs without a
+// policy record a straight arrival count and flat zero lines; under
+// token-bucket or deadline-drop admission the series show when overload is
+// being shed.
+type AdmissionProbe struct{ admitted, rejected, expired *Series }
+
+// NewAdmissionProbe returns the probe.
+func NewAdmissionProbe(stride cell.Time, capacity int) *AdmissionProbe {
+	return &AdmissionProbe{
+		admitted: NewSeries("admitted_total", stride, capacity),
+		rejected: NewSeries("rejected_total", stride, capacity),
+		expired:  NewSeries("expired_total", stride, capacity),
+	}
+}
+
+// Name implements Probe.
+func (p *AdmissionProbe) Name() string { return "admission" }
+
+// Sample implements Probe.
+func (p *AdmissionProbe) Sample(v SlotView) {
+	t := v.Slot()
+	p.admitted.Observe(t, float64(v.AdmittedTotal()))
+	p.rejected.Observe(t, float64(v.RejectedTotal()))
+	p.expired.Observe(t, float64(v.ExpiredTotal()))
+}
+
+// Series implements Probe.
+func (p *AdmissionProbe) Series() []*Series { return []*Series{p.admitted, p.rejected, p.expired} }
+
+// SampleIdleSpan implements IdleSpanSampler. An idle span has no arrivals,
+// hence no admission decisions: all three cumulative counters are constant.
+func (p *AdmissionProbe) SampleIdleSpan(v SlotView, from, to cell.Time) {
+	p.admitted.ObserveSpan(from, to, float64(v.AdmittedTotal()))
+	p.rejected.ObserveSpan(from, to, float64(v.RejectedTotal()))
+	p.expired.ObserveSpan(from, to, float64(v.ExpiredTotal()))
+}
+
 // StandardProbes returns the full probe set for an N-port, K-plane switch:
 // per-plane backlog, cumulative peak plane queue, input buffer depths, mux
 // pull rate, departing-front RQD, demux dispatch imbalance, the
-// PPS-vs-shadow in-flight populations, and the fault degradation state.
+// PPS-vs-shadow in-flight populations, the fault degradation state, and the
+// admission boundary counters.
 func StandardProbes(n, k int, stride cell.Time, capacity int) []Probe {
 	return []Probe{
 		NewPlaneBacklogProbe(k, stride, capacity),
@@ -403,6 +450,7 @@ func StandardProbes(n, k int, stride cell.Time, capacity int) []Probe {
 		NewDispatchImbalanceProbe(stride, capacity),
 		NewInFlightProbe(stride, capacity),
 		NewFaultProbe(stride, capacity),
+		NewAdmissionProbe(stride, capacity),
 	}
 }
 

@@ -22,6 +22,9 @@ type fakeView struct {
 	rqdOK    bool
 	live     int
 	dropped  uint64
+	admitted uint64
+	rejected uint64
+	expired  uint64
 }
 
 func (v *fakeView) Slot() cell.Time           { return v.slot }
@@ -38,6 +41,9 @@ func (v *fakeView) ShadowInFlight() int       { return v.sh }
 func (v *fakeView) FrontRQD() (int64, bool)   { return v.rqd, v.rqdOK }
 func (v *fakeView) LivePlanes() int           { return v.live }
 func (v *fakeView) DroppedTotal() uint64      { return v.dropped }
+func (v *fakeView) AdmittedTotal() uint64     { return v.admitted }
+func (v *fakeView) RejectedTotal() uint64     { return v.rejected }
+func (v *fakeView) ExpiredTotal() uint64      { return v.expired }
 
 func newFakeView(n, k int) *fakeView {
 	return &fakeView{
@@ -72,6 +78,7 @@ func TestStandardProbesNamesAndCount(t *testing.T) {
 		"dispatch_imbalance",
 		"pps_in_flight", "shadow_in_flight",
 		"live_planes", "drops_total",
+		"admitted_total", "rejected_total", "expired_total",
 	}
 	if len(all) != len(want) {
 		t.Fatalf("got %d series, want %d", len(all), len(want))

@@ -23,6 +23,9 @@ type Telemetry struct {
 	inFlight     atomic.Int64
 	matched      atomic.Int64
 	dropped      atomic.Int64
+	admitted     atomic.Int64
+	rejected     atomic.Int64
+	expired      atomic.Int64
 
 	mu     sync.Mutex
 	totals *DelaySet
@@ -50,10 +53,12 @@ func (t *Telemetry) RunFinished() {
 }
 
 // Tick publishes the per-slot gauges: the slot just executed, the cells in
-// flight inside the PPS, and the cumulative matched/dropped cell counts.
-// Concurrent runs overwrite each other (last writer wins) — the gauges are a
-// liveness signal, not an aggregate. Safe on nil; never allocates.
-func (t *Telemetry) Tick(slot int64, inFlight int, matched, dropped uint64) {
+// flight inside the PPS, and the cumulative matched/dropped counts plus the
+// admission boundary counters (admitted arrivals, token-bucket rejections,
+// deadline expiries). Concurrent runs overwrite each other (last writer
+// wins) — the gauges are a liveness signal, not an aggregate. Safe on nil;
+// never allocates.
+func (t *Telemetry) Tick(slot int64, inFlight int, matched, dropped, admitted, rejected, expired uint64) {
 	if t == nil {
 		return
 	}
@@ -61,6 +66,9 @@ func (t *Telemetry) Tick(slot int64, inFlight int, matched, dropped uint64) {
 	t.inFlight.Store(int64(inFlight))
 	t.matched.Store(int64(matched))
 	t.dropped.Store(int64(dropped))
+	t.admitted.Store(int64(admitted))
+	t.rejected.Store(int64(rejected))
+	t.expired.Store(int64(expired))
 }
 
 // ObserveDelays folds the growth of a run's delay histograms since the
@@ -92,6 +100,12 @@ type TelemetrySnapshot struct {
 	InFlight int64 `json:"in_flight"`
 	Matched  int64 `json:"cells_matched"`
 	Dropped  int64 `json:"cells_dropped"`
+	// Admitted, Rejected and Expired are the admission boundary gauges of
+	// the most recent tick: arrivals let into the switch, token-bucket
+	// refusals, and deadline expiries (admission + egress).
+	Admitted int64 `json:"cells_admitted"`
+	Rejected int64 `json:"cells_rejected"`
+	Expired  int64 `json:"cells_expired"`
 	// Delay is the cross-run delay-attribution percentile block, current to
 	// the last histogram flush (at most one flush stride behind the run).
 	Delay DelayQuantiles `json:"delay"`
@@ -110,6 +124,9 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		InFlight:     t.inFlight.Load(),
 		Matched:      t.matched.Load(),
 		Dropped:      t.dropped.Load(),
+		Admitted:     t.admitted.Load(),
+		Rejected:     t.rejected.Load(),
+		Expired:      t.expired.Load(),
 	}
 	snap.Active = snap.RunsStarted - snap.RunsFinished
 	t.mu.Lock()

@@ -11,7 +11,7 @@ import (
 func TestTelemetryNilSafe(t *testing.T) {
 	var tel *Telemetry
 	tel.RunStarted()
-	tel.Tick(5, 1, 2, 0)
+	tel.Tick(5, 1, 2, 0, 2, 0, 0)
 	tel.ObserveDelays(NewDelaySet(), NewDelaySet())
 	tel.RunFinished()
 	if snap := tel.Snapshot(); snap != (TelemetrySnapshot{}) {
@@ -31,7 +31,7 @@ func TestTelemetryFlushNoDoubleCount(t *testing.T) {
 	}
 	tel.ObserveDelays(cur, prev)
 	tel.ObserveDelays(cur, prev) // idempotent once prev caught up
-	tel.Tick(99, 0, 100, 0)
+	tel.Tick(99, 0, 100, 0, 100, 0, 0)
 	tel.RunFinished()
 	snap := tel.Snapshot()
 	if snap.Delay.RQD.N != 100 {
@@ -51,7 +51,7 @@ func TestTelemetryWriteJSONSchema(t *testing.T) {
 	cur.RQD.Record(3)
 	cur.Demux.Record(1)
 	tel.ObserveDelays(cur, prev)
-	tel.Tick(7, 2, 1, 0)
+	tel.Tick(7, 2, 1, 0, 3, 1, 0)
 	var buf bytes.Buffer
 	if err := tel.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -60,7 +60,7 @@ func TestTelemetryWriteJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	for _, key := range []string{"runs_started", "slot", "cells_matched", "delay"} {
+	for _, key := range []string{"runs_started", "slot", "cells_matched", "cells_admitted", "cells_rejected", "cells_expired", "delay"} {
 		if _, ok := decoded[key]; !ok {
 			t.Fatalf("snapshot JSON missing %q: %s", key, buf.String())
 		}
@@ -82,7 +82,7 @@ func TestTelemetryConcurrentSnapshot(t *testing.T) {
 		cur, prev := NewDelaySet(), NewDelaySet()
 		for i := int64(0); i < 2000; i++ {
 			cur.RQD.Record(i % 64)
-			tel.Tick(i, 1, uint64(i), 0)
+			tel.Tick(i, 1, uint64(i), 0, uint64(i), 0, 0)
 			if i%128 == 0 {
 				tel.ObserveDelays(cur, prev)
 			}

@@ -23,6 +23,11 @@ import (
 type Arrival struct {
 	In  cell.Port
 	Out cell.Port
+
+	// Deadline is the absolute slot by which the cell must depart to count
+	// as on time under deadline-aware admission; 0 means no deadline. It is
+	// assigned by WithDeadline — plain sources leave it zero.
+	Deadline cell.Time
 }
 
 // Source produces the arrival process. Implementations must be

@@ -62,6 +62,14 @@ func Shape(n int, b int64, src Source) Source {
 	return traffic.NewRegulator(n, b, src)
 }
 
+// WithDeadline wraps a source so every arrival carries an absolute departure
+// deadline of its arrival slot plus rel (rel >= 1). Pair it with a
+// deadline-drop AdmissionSpec to shed late cells; without one, deadlines
+// only feed the on-time-fraction accounting.
+func WithDeadline(src Source, rel Time) Source {
+	return traffic.WithDeadline(src, rel)
+}
+
 // MeasureBurstiness replays a finite source and returns the smallest B for
 // which it is (R=1, B) leaky-bucket conformant.
 func MeasureBurstiness(n int, src Source) (int64, error) {
