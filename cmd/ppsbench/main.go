@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -376,6 +377,8 @@ func main() {
 		count     = flag.Int("count", 1, "repeats per case; the fastest (minimum wall time) repeat is reported")
 		admSpec   = flag.String("admission", "", "admission policy applied to every case, e.g. rate:1/2,burst:16,deadline")
 		deadline  = flag.Int64("deadline", 0, "stamp each arrival with a departure deadline of its arrival slot + N (0 = off)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile covering every measured run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 		baseline  = flag.String("compare", "", "print a markdown delta table against this BENCH_<rev>.json baseline")
 		gate      = flag.Float64("gate", 10, "with -compare: flag cases whose slots/sec or cells/sec drop, or whose p99/p999 rqd grows, by more than this percent (0 disables)")
 		strict    = flag.Bool("gate-strict", false, "with -compare: exit 1 when any case trips the -gate threshold (default: warn only)")
@@ -430,6 +433,36 @@ func main() {
 		horizon /= 10
 		if horizon < 100 {
 			horizon = 100
+		}
+	}
+
+	// Profiles bracket the measured runs only (flag parsing and JSON
+	// encoding are excluded), so `go tool pprof -top` attributes samples to
+	// the hot path the throughput figures describe. EXPERIMENTS.md has the
+	// capture-and-read recipe.
+	stopProfiles := func() {}
+	for _, p := range []string{*cpuProf, *memProf} {
+		if p == "" {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ppsbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppsbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ppsbench:", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
 		}
 	}
 
@@ -493,6 +526,24 @@ func main() {
 		}
 		fmt.Println()
 		report.Results = append(report.Results, res)
+	}
+	// Profiles close as soon as the measured loop ends: the CPU profile
+	// excludes JSON encoding, and the heap profile snapshots live objects
+	// after a final GC (the in-use view by allocation site, not transient
+	// garbage).
+	stopProfiles()
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppsbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ppsbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	if len(report.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "ppsbench: no cases matched filter", *filter)

@@ -113,20 +113,56 @@ func (c Cell) String() string {
 // Stamper hands out sequence numbers and per-flow indices for newly arriving
 // cells. It is the single authority for cell identity in an execution, so
 // that the PPS and the shadow switch see byte-identical cells.
+//
+// Per-flow counters live either in a dense n*n table (NewStamperSized, the
+// harness's choice — profiling showed the per-cell map access dominating the
+// stamp cost) or in a map (NewStamper, for callers without a known port
+// count). Both behave identically; flows outside the sized range fall back
+// to the map, so a dense Stamper accepts arbitrary flows too.
 type Stamper struct {
 	next    uint64
+	n       int
+	dense   []uint64
 	perFlow map[Flow]uint64
 }
+
+// stamperDenseMax caps the dense table at 1M flows (8 MiB), i.e. n <= 1024;
+// larger switches keep the map.
+const stamperDenseMax = 1 << 20
 
 // NewStamper returns an empty Stamper.
 func NewStamper() *Stamper {
 	return &Stamper{perFlow: make(map[Flow]uint64)}
 }
 
+// NewStamperSized returns a Stamper whose per-flow counters are a dense
+// n*n table when n is positive and small enough, and a plain map otherwise.
+func NewStamperSized(n int) *Stamper {
+	s := NewStamper()
+	if n > 0 && n*n <= stamperDenseMax {
+		s.n = n
+		s.dense = make([]uint64, n*n)
+	}
+	return s
+}
+
+// flowSeq returns a pointer to f's counter: the dense slot when f is in
+// range, the map entry otherwise.
+func (s *Stamper) flowSeq(f Flow) (uint64, bool) {
+	if uint32(f.In) < uint32(s.n) && uint32(f.Out) < uint32(s.n) {
+		return s.dense[int(f.In)*s.n+int(f.Out)], true
+	}
+	return s.perFlow[f], false
+}
+
 // Stamp mints the cell for an arrival on flow f at slot t.
 func (s *Stamper) Stamp(f Flow, t Time) Cell {
-	fs := s.perFlow[f]
-	s.perFlow[f] = fs + 1
+	fs, inDense := s.flowSeq(f)
+	if inDense {
+		s.dense[int(f.In)*s.n+int(f.Out)] = fs + 1
+	} else {
+		s.perFlow[f] = fs + 1
+	}
 	c := New(s.next, fs, f, t)
 	s.next++
 	return c
@@ -136,4 +172,7 @@ func (s *Stamper) Stamp(f Flow, t Time) Cell {
 func (s *Stamper) Count() uint64 { return s.next }
 
 // FlowCount reports how many cells have been stamped for flow f.
-func (s *Stamper) FlowCount(f Flow) uint64 { return s.perFlow[f] }
+func (s *Stamper) FlowCount(f Flow) uint64 {
+	fs, _ := s.flowSeq(f)
+	return fs
+}

@@ -2,6 +2,7 @@ package demux
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ppsim/internal/cell"
 	"ppsim/internal/shadow"
@@ -21,12 +22,24 @@ import (
 // independent derivations of the same algorithm must exhibit identical
 // zero-relative-delay behaviour, and the sets formulation doubles as
 // executable documentation of the original paper's proof structure.
+//
+// Selection reduces to one argmin: both the preferred AIL∩AOL choice and
+// the degraded empty-intersection choice pick the AIL plane whose clamped
+// line time max(linkNext, t) is earliest (ties: lowest plane index), with a
+// miss counted exactly when that minimum exceeds the deadline — so for
+// K <= 64 planes the per-output linkBuckets structure answers each cell in
+// O(1) amortized (DESIGN.md §15 carries the equivalence argument). Wider
+// switches keep the original O(K) set construction.
 type CPASets struct {
 	sendScratch
 	env    Env
 	oracle *shadow.Oracle
+	masker GateMasker
+	// links[j] buckets planes by their (k, j) line's next-free slot;
+	// nil when K > 64 (legacy path below).
+	links []linkBuckets
 	// linkNext[k*N+j]: earliest slot a new cell can cross line (k, j),
-	// assuming earlier assignments drain greedily.
+	// assuming earlier assignments drain greedily. Legacy K > 64 state.
 	linkNext []cell.Time
 	misses   uint64
 }
@@ -34,11 +47,20 @@ type CPASets struct {
 // NewCPASets returns the sets-formulation CPA.
 func NewCPASets(env Env) (*CPASets, error) {
 	n, k := env.Ports(), env.Planes()
-	return &CPASets{
-		env:      env,
-		oracle:   shadow.NewOracle(n),
-		linkNext: make([]cell.Time, n*k),
-	}, nil
+	a := &CPASets{
+		env:    env,
+		oracle: shadow.NewOracle(n),
+		masker: gateMasker(env),
+	}
+	if k <= 64 {
+		a.links = make([]linkBuckets, n)
+		for j := range a.links {
+			a.links[j] = newLinkBuckets(k)
+		}
+	} else {
+		a.linkNext = make([]cell.Time, n*k)
+	}
+	return a, nil
 }
 
 // Name implements Algorithm.
@@ -48,7 +70,34 @@ func (a *CPASets) Name() string { return "cpa-sets" }
 // S >= 2 under admissible traffic).
 func (a *CPASets) Misses() uint64 { return a.misses }
 
-// ail returns the planes input i may start a transmission to at slot t.
+// Slot implements Algorithm.
+func (a *CPASets) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
+	if len(arrivals) == 0 {
+		return nil, nil
+	}
+	if a.links == nil {
+		return a.slotWide(t, arrivals)
+	}
+	sends := a.take()
+	for _, c := range arrivals {
+		deadline := a.oracle.Departure(t, c.Flow.Out)
+		mask := freeMask(a.env, a.masker, c.Flow.In, t)
+		if mask == 0 {
+			return nil, fmt.Errorf("demux: cpa-sets input %d has no free gate at slot %d", c.Flow.In, t)
+		}
+		lb := &a.links[c.Flow.Out]
+		chosen, next := lb.choose(mask, t)
+		if next > deadline {
+			a.misses++
+		}
+		lb.move(chosen, next, next+cell.Time(a.env.RPrime()))
+		sends = append(sends, Send{Cell: c, Plane: chosen})
+	}
+	return a.keep(sends), nil
+}
+
+// ail returns the planes input i may start a transmission to at slot t
+// (legacy K > 64 path).
 func (a *CPASets) ail(in cell.Port, t cell.Time) []cell.Plane {
 	var out []cell.Plane
 	for k := 0; k < a.env.Planes(); k++ {
@@ -59,28 +108,9 @@ func (a *CPASets) ail(in cell.Port, t cell.Time) []cell.Plane {
 	return out
 }
 
-// aol returns the planes whose (k, j) line can carry a new cell no later
-// than deadline.
-func (a *CPASets) aol(j cell.Port, t, deadline cell.Time) []cell.Plane {
-	n := a.env.Ports()
-	var out []cell.Plane
-	for k := 0; k < a.env.Planes(); k++ {
-		next := a.linkNext[k*n+int(j)]
-		if next < t {
-			next = t
-		}
-		if next <= deadline {
-			out = append(out, cell.Plane(k))
-		}
-	}
-	return out
-}
-
-// Slot implements Algorithm.
-func (a *CPASets) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
-	if len(arrivals) == 0 {
-		return nil, nil
-	}
+// slotWide is the historical set-building path, kept for K > 64 where plane
+// sets do not fit a bitmask.
+func (a *CPASets) slotWide(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 	n := a.env.Ports()
 	sends := a.take()
 	for _, c := range arrivals {
@@ -89,40 +119,23 @@ func (a *CPASets) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
 		if len(ail) == 0 {
 			return nil, fmt.Errorf("demux: cpa-sets input %d has no free gate at slot %d", c.Flow.In, t)
 		}
-		aol := a.aol(c.Flow.Out, t, deadline)
-		// Intersect, preferring the feasible plane whose line frees
-		// earliest (matching the production CPA's tie-break so the two
-		// implementations can be compared decision-for-decision).
+		// One pass over AIL finds the plane whose clamped line time is
+		// earliest (ties: lowest index, since ail ascends); the AIL∩AOL
+		// preference falls out of it — if even this minimum misses the
+		// deadline the intersection was empty, which is the degraded case.
 		chosen := cell.NoPlane
 		var chosenNext cell.Time
-		inAOL := map[cell.Plane]bool{}
-		for _, k := range aol {
-			inAOL[k] = true
-		}
 		for _, k := range ail {
 			next := a.linkNext[int(k)*n+int(c.Flow.Out)]
 			if next < t {
 				next = t
 			}
-			if inAOL[k] {
-				if chosen == cell.NoPlane || next < chosenNext {
-					chosen, chosenNext = k, next
-				}
+			if chosen == cell.NoPlane || next < chosenNext {
+				chosen, chosenNext = k, next
 			}
 		}
-		if chosen == cell.NoPlane {
-			// Empty intersection (S < 2): degrade like the production
-			// CPA — earliest-available plane from AIL.
+		if chosenNext > deadline {
 			a.misses++
-			for _, k := range ail {
-				next := a.linkNext[int(k)*n+int(c.Flow.Out)]
-				if next < t {
-					next = t
-				}
-				if chosen == cell.NoPlane || next < chosenNext {
-					chosen, chosenNext = k, next
-				}
-			}
 		}
 		a.linkNext[int(chosen)*n+int(c.Flow.Out)] = chosenNext + cell.Time(a.env.RPrime())
 		sends = append(sends, Send{Cell: c, Plane: chosen})
@@ -136,3 +149,84 @@ func (a *CPASets) Buffered(cell.Port) int { return 0 }
 // IdleInvariant certifies the fast-forward capability: the AIL/AOL sets
 // mutate only on arrivals.
 func (a *CPASets) IdleInvariant() bool { return true }
+
+// linkBuckets buckets the K planes of one output by the next-free slot of
+// their (plane, output) line: vals ascends, bits[i] holds the planes whose
+// line frees at vals[i], and every plane is in exactly one bucket. clamp
+// lazily merges every bucket at or below the current slot into one front
+// bucket valued at the slot — max(linkNext, t) collapses those planes into
+// one value class, and merging keeps the lowest-set-bit tie-break equal to
+// the lowest-index scan across the whole class.
+type linkBuckets struct {
+	vals []cell.Time
+	bits []uint64
+}
+
+// newLinkBuckets returns the structure for k planes, all lines free since
+// slot 0. k must be in (0, 64].
+func newLinkBuckets(k int) linkBuckets {
+	return linkBuckets{vals: []cell.Time{0}, bits: []uint64{^uint64(0) >> uint(64-k)}}
+}
+
+// clamp merges every bucket with value <= t into the front bucket, raised
+// to value t. Amortized O(1): a bucket is merged at most once per creation.
+func (b *linkBuckets) clamp(t cell.Time) {
+	if b.vals[0] >= t {
+		return
+	}
+	m := 0
+	var acc uint64
+	for m < len(b.vals) && b.vals[m] <= t {
+		acc |= b.bits[m]
+		m++
+	}
+	b.vals[m-1] = t
+	b.bits[m-1] = acc
+	if m > 1 {
+		b.vals = append(b.vals[:0], b.vals[m-1:]...)
+		b.bits = append(b.bits[:0], b.bits[m-1:]...)
+	}
+}
+
+// choose returns the plane in mask whose clamped line time max(val, t) is
+// earliest, ties to the lowest plane index, together with that time. mask
+// must be nonzero.
+func (b *linkBuckets) choose(mask uint64, t cell.Time) (cell.Plane, cell.Time) {
+	b.clamp(t)
+	for i, bm := range b.bits {
+		if hit := bm & mask; hit != 0 {
+			return cell.Plane(bits.TrailingZeros64(hit)), b.vals[i]
+		}
+	}
+	return cell.NoPlane, 0
+}
+
+// move relocates plane p from the bucket valued `from` to the one valued
+// `to` (creating/removing buckets as needed). to must be > from.
+func (b *linkBuckets) move(p cell.Plane, from, to cell.Time) {
+	i := 0
+	for b.vals[i] != from {
+		i++
+	}
+	bit := uint64(1) << uint(p)
+	if b.bits[i] == bit {
+		b.vals = append(b.vals[:i], b.vals[i+1:]...)
+		b.bits = append(b.bits[:i], b.bits[i+1:]...)
+	} else {
+		b.bits[i] &^= bit
+	}
+	j := i
+	for j < len(b.vals) && b.vals[j] < to {
+		j++
+	}
+	if j < len(b.vals) && b.vals[j] == to {
+		b.bits[j] |= bit
+		return
+	}
+	b.vals = append(b.vals, 0)
+	b.bits = append(b.bits, 0)
+	copy(b.vals[j+1:], b.vals[j:])
+	copy(b.bits[j+1:], b.bits[j:])
+	b.vals[j] = to
+	b.bits[j] = bit
+}

@@ -130,6 +130,46 @@ type Env interface {
 	Log() *Log
 }
 
+// GateMasker is an optional Env capability: the set of planes whose line
+// from input `in` is free at slot t, as a bitmask over plane indices. It is
+// the batched form of InputGateFreeAt — one call per cell instead of K — and
+// the free-gate gate for the O(1) amortized plane-selection structures, so
+// fault-aware wrappers compose by clearing dead planes' bits.
+//
+// The capability is only meaningful when Planes() <= 64; algorithms must
+// fall back to the per-plane scan on wider switches even when the Env
+// asserts the interface. Queries for an input must come with non-decreasing
+// t (the fabric's per-slot dispatch order guarantees this).
+type GateMasker interface {
+	FreeGateMask(in cell.Port, t cell.Time) uint64
+}
+
+// gateMasker resolves env's GateMasker capability, nil when absent or when
+// the plane count exceeds the 64-bit mask width.
+func gateMasker(env Env) GateMasker {
+	if env.Planes() > 64 {
+		return nil
+	}
+	m, _ := env.(GateMasker)
+	return m
+}
+
+// freeMask returns the bitmask of planes whose gate from input `in` is free
+// at slot t: one capability call when masker is non-nil, a per-plane scan
+// over env otherwise. Callers must ensure env.Planes() <= 64.
+func freeMask(env Env, masker GateMasker, in cell.Port, t cell.Time) uint64 {
+	if masker != nil {
+		return masker.FreeGateMask(in, t)
+	}
+	var m uint64
+	for k := env.Planes() - 1; k >= 0; k-- {
+		if env.InputGateFreeAt(in, cell.Plane(k)) <= t {
+			m |= 1 << uint(k)
+		}
+	}
+	return m
+}
+
 // EventKind discriminates global log entries.
 type EventKind uint8
 

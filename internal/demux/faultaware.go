@@ -2,6 +2,7 @@ package demux
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ppsim/internal/cell"
 )
@@ -31,6 +32,7 @@ const neverFree = cell.Time(1) << 62
 type maskedEnv struct {
 	Env
 	health PlaneHealth
+	masker GateMasker // inner env's batched capability, nil when absent
 }
 
 func (m maskedEnv) InputGateFreeAt(in cell.Port, k cell.Plane) cell.Time {
@@ -38,6 +40,29 @@ func (m maskedEnv) InputGateFreeAt(in cell.Port, k cell.Plane) cell.Time {
 		return neverFree
 	}
 	return m.Env.InputGateFreeAt(in, k)
+}
+
+// FreeGateMask implements GateMasker so the wrapper composes with the O(1)
+// selection structures: the inner environment's mask (or, absent the
+// capability, a scan of the masked gate view) with failed planes' bits
+// cleared. Only called for K <= 64 (see GateMasker).
+func (m maskedEnv) FreeGateMask(in cell.Port, t cell.Time) uint64 {
+	if m.masker == nil {
+		var mask uint64
+		for k := m.Env.Planes() - 1; k >= 0; k-- {
+			if m.InputGateFreeAt(in, cell.Plane(k)) <= t {
+				mask |= 1 << uint(k)
+			}
+		}
+		return mask
+	}
+	mask := m.masker.FreeGateMask(in, t)
+	for b := mask; b != 0; b &= b - 1 {
+		if !m.health.PlaneUp(cell.Plane(bits.TrailingZeros64(b))) {
+			mask &^= b & -b
+		}
+	}
+	return mask
 }
 
 // FaultAware wraps any demultiplexing algorithm with failure-aware dispatch:
@@ -63,7 +88,7 @@ func NewFaultAware(env Env, mk func(Env) (Algorithm, error)) (Algorithm, error) 
 	if !ok {
 		return nil, fmt.Errorf("demux: faultaware needs an environment with plane health (got %T)", env)
 	}
-	inner, err := mk(maskedEnv{Env: env, health: h})
+	inner, err := mk(maskedEnv{Env: env, health: h, masker: gateMasker(env)})
 	if err != nil {
 		return nil, err
 	}

@@ -17,10 +17,18 @@ import (
 // steering adversary aligns it exactly like the others (experiment E17's
 // universality check). No amount of local cleverness escapes the
 // Omega((R/r - 1) N) bound; only global information does.
+//
+// Selection is O(1) amortized per cell on switches with K <= 64 planes: the
+// per-flow counters live in a planeBuckets structure whose bucket scan
+// reproduces the historical lowest-index argmin exactly (DESIGN.md §15),
+// and the free-gate set comes from the Env's GateMasker capability when
+// present. Wider switches keep the original O(K) scan over a counts slice.
 type LocalLeastLoaded struct {
 	sendScratch
 	env    Env
-	counts map[cell.Flow][]uint64 // per flow: dispatches per plane by this input
+	masker GateMasker              // nil → per-plane free-gate scan
+	counts map[cell.Flow]*planeBuckets
+	wide   map[cell.Flow][]uint64 // K > 64 fallback
 }
 
 // NewLocalLeastLoaded returns the algorithm. It returns an error if K < r'.
@@ -28,7 +36,13 @@ func NewLocalLeastLoaded(env Env) (*LocalLeastLoaded, error) {
 	if int64(env.Planes()) < env.RPrime() {
 		return nil, fmt.Errorf("demux: least-loaded needs K >= r' (K=%d, r'=%d)", env.Planes(), env.RPrime())
 	}
-	return &LocalLeastLoaded{env: env, counts: make(map[cell.Flow][]uint64)}, nil
+	a := &LocalLeastLoaded{env: env, masker: gateMasker(env)}
+	if env.Planes() <= 64 {
+		a.counts = make(map[cell.Flow]*planeBuckets)
+	} else {
+		a.wide = make(map[cell.Flow][]uint64)
+	}
+	return a, nil
 }
 
 // Name implements Algorithm.
@@ -39,9 +53,28 @@ func (a *LocalLeastLoaded) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, erro
 	if len(arrivals) == 0 {
 		return nil, nil
 	}
+	if a.counts == nil {
+		return a.slotWide(t, arrivals)
+	}
 	sends := a.take()
 	for _, c := range arrivals {
-		counts := a.flowCounts(c.Flow)
+		pb := a.flowBuckets(c.Flow)
+		best := pb.argmin(freeMask(a.env, a.masker, c.Flow.In, t))
+		if best == cell.NoPlane {
+			return nil, fmt.Errorf("demux: least-loaded input %d has no free gate at slot %d", c.Flow.In, t)
+		}
+		pb.inc(best)
+		sends = append(sends, Send{Cell: c, Plane: best})
+	}
+	return a.keep(sends), nil
+}
+
+// slotWide is the historical O(K)-scan path, kept for K > 64 where plane
+// sets do not fit a bitmask.
+func (a *LocalLeastLoaded) slotWide(t cell.Time, arrivals []cell.Cell) ([]Send, error) {
+	sends := a.take()
+	for _, c := range arrivals {
+		counts := a.wideCounts(c.Flow)
 		best := cell.NoPlane
 		for k := 0; k < a.env.Planes(); k++ {
 			p := cell.Plane(k)
@@ -61,11 +94,20 @@ func (a *LocalLeastLoaded) Slot(t cell.Time, arrivals []cell.Cell) ([]Send, erro
 	return a.keep(sends), nil
 }
 
-func (a *LocalLeastLoaded) flowCounts(f cell.Flow) []uint64 {
-	c := a.counts[f]
+func (a *LocalLeastLoaded) flowBuckets(f cell.Flow) *planeBuckets {
+	pb := a.counts[f]
+	if pb == nil {
+		pb = newPlaneBuckets(a.env.Planes())
+		a.counts[f] = pb
+	}
+	return pb
+}
+
+func (a *LocalLeastLoaded) wideCounts(f cell.Flow) []uint64 {
+	c := a.wide[f]
 	if c == nil {
 		c = make([]uint64, a.env.Planes())
-		a.counts[f] = c
+		a.wide[f] = c
 	}
 	return c
 }
@@ -76,7 +118,12 @@ func (a *LocalLeastLoaded) Buffered(cell.Port) int { return 0 }
 // WouldChoose implements Prober: the least-loaded plane for the flow
 // assuming all gates free.
 func (a *LocalLeastLoaded) WouldChoose(in, out cell.Port) (cell.Plane, bool) {
-	counts := a.flowCounts(cell.Flow{In: in, Out: out})
+	f := cell.Flow{In: in, Out: out}
+	if a.counts != nil {
+		pb := a.flowBuckets(f)
+		return pb.argmin(^uint64(0) >> uint(64-a.env.Planes())), true
+	}
+	counts := a.wideCounts(f)
 	best := cell.Plane(0)
 	for k := 1; k < a.env.Planes(); k++ {
 		if counts[k] < counts[best] {

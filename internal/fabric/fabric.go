@@ -303,6 +303,16 @@ func (e envView) InputGateFreeAt(in cell.Port, k cell.Plane) cell.Time {
 	return e.p.inGates.Gate(int(in), int(k)).FreeAt()
 }
 
+// FreeGateMask implements the optional demux.GateMasker capability: the
+// bitmask of planes whose line from input `in` is free at slot t, served
+// from the gate matrix's per-row busy masks in O(busy) — at most r'-1 bits
+// per input — rather than K virtual calls. Only valid when K <= 64
+// (demux.GateMasker's contract); algorithms fall back to the per-plane scan
+// otherwise.
+func (e envView) FreeGateMask(in cell.Port, t cell.Time) uint64 {
+	return e.p.inGates.FreeColsMask(int(in), t)
+}
+
 // PlaneUp implements the optional demux.PlaneHealth capability: fault-aware
 // wrappers mask planes for which it reports false.
 func (e envView) PlaneUp(k cell.Plane) bool { return !e.p.planes[k].Failed() }
@@ -587,7 +597,7 @@ func (p *PPS) dispatch(t cell.Time, arrivals []cell.Cell) error {
 		if s.Plane < 0 || int(s.Plane) >= p.cfg.K {
 			return p.violation(t, fmt.Errorf("fabric: %s dispatched %v to nonexistent plane %d", p.alg.Name(), c, s.Plane))
 		}
-		if err := p.inGates.Gate(int(c.Flow.In), int(s.Plane)).Seize(t); err != nil {
+		if err := p.inGates.SeizeAt(int(c.Flow.In), int(s.Plane), t); err != nil {
 			return p.violation(t, fmt.Errorf("fabric: %s violated the input constraint: %w", p.alg.Name(), err))
 		}
 		if p.pendingPerIn[c.Flow.In] == 0 {

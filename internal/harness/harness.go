@@ -287,12 +287,17 @@ type driver struct {
 	tel     *obs.Telemetry
 	telPrev *obs.DelaySet
 	look    traffic.Lookahead
+	// feed serves the arrival phase: one slab of arrivals per span when the
+	// source implements traffic.BatchSource, a per-slot pass-through
+	// otherwise. All engines (and the admission gate inside feedSlot)
+	// consume slots through it, and d.look is its Lookahead view so slab
+	// state and quiescence queries stay interleaved correctly.
+	feed *traffic.SpanFeed
 	// adm is the admission runtime, nil under always-admit (nil or empty
 	// spec) — the gate in feedSlot then reduces to the bare counters, so a
 	// run without admission is byte-identical to the pre-admission harness.
 	adm *admission.Runtime
 
-	buf                    []traffic.Arrival
 	deps, shDeps, cellsBuf []cell.Cell
 	// slot is where the core stopped: the first slot after both switches
 	// drained, or MaxSlots.
@@ -309,13 +314,13 @@ type driver struct {
 // queues, so the scratch slice is safe to reuse across slots.
 func (d *driver) feedSlot(t cell.Time) ([]cell.Cell, error) {
 	cells := d.cellsBuf[:0]
-	d.buf = d.src.Arrivals(t, d.buf[:0])
+	arrs := d.feed.SlotArrivals(t)
 	if d.vd != nil {
-		if err := d.vd.Observe(t, d.buf); err != nil {
+		if err := d.vd.Observe(t, arrs); err != nil {
 			return nil, err
 		}
 	}
-	for _, a := range d.buf {
+	for _, a := range arrs {
 		d.rec.OfferCell()
 		if d.adm != nil {
 			// Deadline expiry is checked before the token bucket: a cell
@@ -628,8 +633,8 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		src:  src,
 		opts: &opts,
 		end:  end,
-		st:   cell.NewStamper(),
-		rec:  metrics.NewRecorder(),
+		st:   cell.NewStamperSized(cfg.N),
+		rec:  metrics.NewRecorderSized(cfg.N),
 	}
 	if opts.Validate {
 		d.vd = traffic.NewValidator(cfg.N)
@@ -659,8 +664,12 @@ func Drive(pps *fabric.PPS, src traffic.Source, opts Options) (Result, error) {
 		defer d.tel.RunFinished()
 	}
 
-	eng, look, reason := selectEngine(pps, src, opts)
-	d.look = look
+	// The span feed serves every engine's arrival phase; engine eligibility
+	// is still keyed off the raw source (selectEngine), but quiescence
+	// queries must go through the feed so they interleave with slab state.
+	d.feed = traffic.NewSpanFeed(src, end)
+	eng, _, reason := selectEngine(pps, src, opts)
+	d.look = d.feed.Look()
 	var err error
 	if eng == EngineEvent {
 		err = d.runEvent()

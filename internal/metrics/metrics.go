@@ -92,9 +92,20 @@ type Recorder struct {
 	dropsPerPlane []uint64
 	dropsPerInput []uint64
 
-	rqd     stats.Summary
-	flowPPS map[cell.Flow]*minmax
-	flowSh  map[cell.Flow]*minmax
+	rqd stats.Summary
+
+	// Per-flow delay extremes, indexed by a compact flow id assigned at
+	// first sight. The id table is a dense n*n array when the recorder was
+	// sized (NewRecorderSized — the harness path; profiling showed the two
+	// per-departure map lookups near the top of the slot profile) and a map
+	// otherwise; out-of-range flows of a sized recorder fall back to the
+	// map, so behavior is identical either way.
+	flowN     int
+	flowDense []int32 // n*n → flow id + 1; 0 = unassigned
+	flowIDs   map[cell.Flow]int32
+	flowPPS   []minmax // flow id → PPS delay extremes
+	flowSh    []minmax // flow id → shadow delay extremes
+	ppsFlows  int      // flows with >= 1 PPS departure (Report.Flows)
 
 	// Stage decomposition of PPS delay: input buffer, plane queue + line,
 	// output resequencing buffer.
@@ -134,10 +145,52 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		flowPPS: make(map[cell.Flow]*minmax),
-		flowSh:  make(map[cell.Flow]*minmax),
+		flowIDs: make(map[cell.Flow]int32),
 		delays:  obs.NewDelaySet(),
 	}
+}
+
+// recorderDenseMax caps the dense flow-id table at 1M flows (4 MiB), i.e.
+// n <= 1024; larger switches keep the map.
+const recorderDenseMax = 1 << 20
+
+// NewRecorderSized returns a recorder whose flow-id table is a dense n*n
+// array when n is positive and small enough — the harness always knows n, so
+// its per-departure path avoids the map entirely.
+func NewRecorderSized(n int) *Recorder {
+	r := NewRecorder()
+	if n > 0 && n*n <= recorderDenseMax {
+		r.flowN = n
+		r.flowDense = make([]int32, n*n)
+	}
+	return r
+}
+
+// flowID returns the compact id of flow f, assigning the next id on first
+// sight (and growing the per-id minmax tables in step).
+func (r *Recorder) flowID(f cell.Flow) int {
+	if uint32(f.In) < uint32(r.flowN) && uint32(f.Out) < uint32(r.flowN) {
+		idx := int(f.In)*r.flowN + int(f.Out)
+		if id := r.flowDense[idx]; id != 0 {
+			return int(id - 1)
+		}
+		id := r.newFlowID()
+		r.flowDense[idx] = int32(id + 1)
+		return id
+	}
+	if id, ok := r.flowIDs[f]; ok {
+		return int(id)
+	}
+	id := r.newFlowID()
+	r.flowIDs[f] = int32(id)
+	return id
+}
+
+func (r *Recorder) newFlowID() int {
+	id := len(r.flowPPS)
+	r.flowPPS = append(r.flowPPS, minmax{})
+	r.flowSh = append(r.flowSh, minmax{})
+	return id
 }
 
 func grow(s []cell.Time, idx uint64) []cell.Time {
@@ -175,12 +228,7 @@ func (r *Recorder) ShadowDepart(c cell.Cell) {
 	}
 	r.shadowDep[c.Seq] = c.Depart
 	r.arriveAt[c.Seq] = c.Arrive
-	mm := r.flowSh[c.Flow]
-	if mm == nil {
-		mm = &minmax{}
-		r.flowSh[c.Flow] = mm
-	}
-	mm.add(c.Depart - c.Arrive)
+	r.flowSh[r.flowID(c.Flow)].add(c.Depart - c.Arrive)
 	r.tryMatch(c.Seq)
 }
 
@@ -191,10 +239,9 @@ func (r *Recorder) PPSDepart(c cell.Cell) {
 		panic(fmt.Sprintf("metrics: PPS departure of cell %d recorded twice", c.Seq))
 	}
 	r.ppsDep[c.Seq] = c.Depart
-	mm := r.flowPPS[c.Flow]
-	if mm == nil {
-		mm = &minmax{}
-		r.flowPPS[c.Flow] = mm
+	mm := &r.flowPPS[r.flowID(c.Flow)]
+	if mm.n == 0 {
+		r.ppsFlows++
 	}
 	mm.add(c.Depart - c.Arrive)
 	// Stage decomposition, when the intermediate stamps are present (the
@@ -426,7 +473,7 @@ func (r *Recorder) Report() Report {
 		P99RQD:         cell.Time(r.rqd.Percentile(99)),
 		P999RQD:        cell.Time(r.rqd.Percentile(99.9)),
 		Percentiles:    r.delays.Quantiles(),
-		Flows:          len(r.flowPPS),
+		Flows:          r.ppsFlows,
 		MeanInputWait:  r.inputWait.mean(),
 		MeanPlaneWait:  r.planeWait.mean(),
 		MeanOutputWait: r.outputWait.mean(),
@@ -451,7 +498,11 @@ func (r *Recorder) Report() Report {
 	if r.rejected > 0 {
 		rep.RejectedPerInput = append([]uint64(nil), r.rejectedPerInput...)
 	}
-	for f, mp := range r.flowPPS {
+	for id := range r.flowPPS {
+		mp := &r.flowPPS[id]
+		if mp.n == 0 {
+			continue // seen only by the shadow: not a PPS flow
+		}
 		if mp.max > rep.MaxPPSDelay {
 			rep.MaxPPSDelay = mp.max
 		}
@@ -459,7 +510,7 @@ func (r *Recorder) Report() Report {
 		if j > rep.MaxPPSJitter {
 			rep.MaxPPSJitter = j
 		}
-		if ms := r.flowSh[f]; ms != nil {
+		if ms := &r.flowSh[id]; ms.n > 0 {
 			if rel := j - ms.jitter(); rel > rep.RDJ {
 				rep.RDJ = rel
 			}

@@ -13,6 +13,7 @@ package timing
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ppsim/internal/cell"
 )
@@ -65,9 +66,17 @@ func (g *Gate) Seize(t cell.Time) error {
 // Matrix is a dense rows x cols bank of gates, all with the same hold time.
 // For the input side rows index input-ports and cols index planes; for the
 // output side rows index planes and cols index output-ports.
+//
+// When cols <= 64 the matrix additionally keeps one busy bitmask per row, so
+// FreeColsMask answers "which columns may row r use at slot t" in O(busy)
+// — at most hold-1 bits are ever busy per row, independent of cols. The
+// masks are maintained by SeizeAt; rows seized through Gate().Seize directly
+// are not tracked, so a matrix whose masks are consulted must be seized via
+// SeizeAt (the fabric does this for the input-side matrix).
 type Matrix struct {
 	rows, cols int
 	gates      []Gate
+	busy       []uint64 // per-row over-approximation of busy cols; nil when cols > 64
 }
 
 // NewMatrix returns a rows x cols matrix of gates with the given hold.
@@ -79,6 +88,9 @@ func NewMatrix(rows, cols int, hold int64) *Matrix {
 	m := &Matrix{rows: rows, cols: cols, gates: make([]Gate, rows*cols)}
 	for i := range m.gates {
 		m.gates[i].Init(hold)
+	}
+	if cols <= 64 {
+		m.busy = make([]uint64, rows)
 	}
 	return m
 }
@@ -95,6 +107,43 @@ func (m *Matrix) Gate(row, col int) *Gate {
 		panic(fmt.Sprintf("timing: gate (%d,%d) out of %dx%d matrix", row, col, m.rows, m.cols))
 	}
 	return &m.gates[row*m.cols+col]
+}
+
+// Masked reports whether the matrix maintains per-row busy masks (cols <= 64).
+func (m *Matrix) Masked() bool { return m.busy != nil }
+
+// SeizeAt seizes gate (row, col) at slot t, keeping the row's busy mask (if
+// any) current. Callers that consult FreeColsMask must seize exclusively
+// through this method.
+func (m *Matrix) SeizeAt(row, col int, t cell.Time) error {
+	if err := m.Gate(row, col).Seize(t); err != nil {
+		return err
+	}
+	if m.busy != nil {
+		m.busy[row] |= 1 << uint(col)
+	}
+	return nil
+}
+
+// FreeColsMask returns the bitmask of columns whose gate in the given row is
+// free at slot t. Only valid on a Masked matrix. Queries for a row must come
+// with non-decreasing t: busy bits whose gates have expired by t are cleared
+// as they are discovered, which keeps each call O(busy bits) — at most
+// hold-1 per row — but would mis-report a later query at an earlier slot.
+func (m *Matrix) FreeColsMask(row int, t cell.Time) uint64 {
+	if m.busy == nil {
+		panic("timing: FreeColsMask on an unmasked matrix (cols > 64)")
+	}
+	b := m.busy[row]
+	base := row * m.cols
+	for rem := b; rem != 0; rem &= rem - 1 {
+		c := bits.TrailingZeros64(rem)
+		if m.gates[base+c].Free(t) {
+			b &^= 1 << uint(c)
+		}
+	}
+	m.busy[row] = b
+	return ^uint64(0) >> uint(64-m.cols) &^ b
 }
 
 // FreeCols returns the columns whose gate in the given row is free at t,

@@ -1,0 +1,278 @@
+package traffic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppsim/internal/cell"
+)
+
+// batchTwinCases builds, for every bundled generator, a factory returning a
+// fresh identically-configured source. Each test draws two instances: one
+// consumed through BatchSource.AppendArrivals over random span partitions,
+// one stepped slot-by-slot through Arrivals — the streams must be
+// bit-identical, including the RNG-backed sources' draw order.
+func batchTwinCases(t *testing.T) []struct {
+	name string
+	mk   func() Source
+} {
+	t.Helper()
+	mkTrace := func() Source {
+		tr := NewTrace()
+		for _, e := range []struct {
+			t       cell.Time
+			in, out cell.Port
+		}{{0, 0, 1}, {0, 1, 0}, {3, 2, 2}, {17, 0, 3}, {17, 3, 0}, {64, 1, 1}, {65, 2, 0}} {
+			if err := tr.Add(e.t, e.in, e.out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	mkBvN := func() Source {
+		const n = 4
+		lambda := make([][]float64, n)
+		for i := range lambda {
+			lambda[i] = make([]float64, n)
+			for j := range lambda[i] {
+				lambda[i][j] = 0.8 / n
+			}
+		}
+		src, err := NewBvN(lambda, cell.None, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	return []struct {
+		name string
+		mk   func() Source
+	}{
+		{"cbr", func() Source {
+			return &CBR{
+				Flows:  []cell.Flow{{In: 0, Out: 1}, {In: 1, Out: 2}, {In: 2, Out: 0}},
+				Period: 3,
+				Phase:  []cell.Time{0, 1, 2},
+				Until:  120,
+			}
+		}},
+		{"permutation", func() Source {
+			p, err := NewPermutation([]cell.Port{2, 0, 3, 1}, 90)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"flood", func() Source { return &Flood{N: 3, Out: 1, Until: 75} }},
+		{"trace", mkTrace},
+		{"concat", func() Source {
+			c, err := NewConcat(
+				Part{Source: &Flood{N: 2, Out: 0, Until: 5}, GapAfter: 7},
+				Part{Source: mkTrace().(*Trace), GapAfter: 0},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"bernoulli", func() Source { return NewBernoulli(8, 0.4, cell.None, 7) }},
+		{"bernoulli-finite", func() Source { return NewBernoulli(8, 0.6, 100, 9) }},
+		{"onoff", func() Source {
+			o, err := NewOnOff(8, 5, 9, cell.None, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		}},
+		{"hotspot", func() Source {
+			h, err := NewHotspot(8, 0.5, 0.6, 2, cell.None, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		}},
+		{"bvn", mkBvN},
+		{"regulator", func() Source { return NewRegulator(8, 4, NewBernoulli(8, 0.9, cell.None, 5)) }},
+		{"deadline-onoff", func() Source {
+			o, err := NewOnOff(6, 4, 6, cell.None, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return WithDeadline(o, 32)
+		}},
+		{"deadline-trace", func() Source { return WithDeadline(mkTrace(), 10) }},
+	}
+}
+
+// TestBatchArrivalsMatchPerSlotTwin is the batch/per-slot equivalence
+// property: for every bundled generator, AppendArrivals over a random
+// partition of the horizon into spans yields exactly the arrivals a
+// slot-by-slot twin produces — same cells, same order, same slot stamps —
+// even when Lookahead queries are interleaved between spans (which forces
+// the RNG-backed sources through their buffered-replay path).
+func TestBatchArrivalsMatchPerSlotTwin(t *testing.T) {
+	const horizon = 260
+	for _, tc := range batchTwinCases(t) {
+		for trial := int64(0); trial < 4; trial++ {
+			rng := rand.New(rand.NewSource(trial*1009 + 17))
+			batch, ok := tc.mk().(BatchSource)
+			if !ok {
+				t.Fatalf("%s: source does not implement BatchSource", tc.name)
+			}
+			twin := tc.mk()
+			bLook, _ := batch.(Lookahead)
+			tLook, _ := twin.(Lookahead)
+
+			var got, want []Arrival
+			for from := cell.Time(0); from < horizon; {
+				to := from + 1 + cell.Time(rng.Intn(9))
+				if to > horizon {
+					to = horizon
+				}
+				got = batch.AppendArrivals(got, from, to)
+				for s := from; s < to; s++ {
+					start := len(want)
+					want = twin.Arrivals(s, want)
+					for i := start; i < len(want); i++ {
+						want[i].T = s
+					}
+				}
+				// Interleaved lookahead: both twins must answer identically
+				// and the query must not perturb either stream.
+				if bLook != nil && tLook != nil && rng.Intn(3) == 0 {
+					bn, tn := bLook.NextArrival(to-1), tLook.NextArrival(to-1)
+					if bn != tn {
+						t.Fatalf("%s trial %d: NextArrival(%d) = %d (batch) vs %d (per-slot)", tc.name, trial, to-1, bn, tn)
+					}
+				}
+				from = to
+			}
+			if !reflect.DeepEqual(got, want) {
+				if len(got) != len(want) {
+					t.Fatalf("%s trial %d: %d batched arrivals vs %d per-slot", tc.name, trial, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s trial %d: arrival %d differs: batch %+v vs per-slot %+v", tc.name, trial, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpanFeedMatchesDirectSource drives a SpanFeed over every generator and
+// checks the slab view reproduces the per-slot stream and that NextArrival
+// stays consistent with the slab's own silence certificate.
+func TestSpanFeedMatchesDirectSource(t *testing.T) {
+	const horizon = 200
+	for _, tc := range batchTwinCases(t) {
+		feed := NewSpanFeed(tc.mk(), horizon)
+		twin := tc.mk()
+		var want []Arrival
+		for s := cell.Time(0); s < horizon; s++ {
+			got := feed.SlotArrivals(s)
+			want = twin.Arrivals(s, want[:0])
+			if len(got) != len(want) {
+				t.Fatalf("%s: slot %d: %d arrivals via feed, %d direct", tc.name, s, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].In != want[i].In || got[i].Out != want[i].Out || got[i].Deadline != want[i].Deadline {
+					t.Fatalf("%s: slot %d: arrival %d differs: %+v vs %+v", tc.name, s, i, got[i], want[i])
+				}
+				if got[i].T != s {
+					t.Fatalf("%s: slot %d: arrival %d stamped T=%d", tc.name, s, i, got[i].T)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSpanVsPerSlot contrasts per-slot interface stepping with
+// span-batched slab generation for the bursty on/off source the official
+// bench regime leans on (satellite: profile-guided evidence for Layer 1).
+func BenchmarkSpanVsPerSlot(b *testing.B) {
+	const n = 64
+	mk := func() Source {
+		o, err := NewOnOff(n, 8, 8*(1-0.6)/0.6, cell.None, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return o
+	}
+	b.Run("perslot", func(b *testing.B) {
+		src := mk()
+		var buf []Arrival
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = src.Arrivals(cell.Time(i), buf[:0])
+		}
+	})
+	for _, span := range []cell.Time{16, 256} {
+		b.Run("span"+itoa(int(span)), func(b *testing.B) {
+			src := mk().(BatchSource)
+			var buf []Arrival
+			b.ResetTimer()
+			for from := cell.Time(0); from < cell.Time(b.N); from += span {
+				to := from + span
+				if to > cell.Time(b.N) {
+					to = cell.Time(b.N)
+				}
+				buf = src.AppendArrivals(buf[:0], from, to)
+			}
+		})
+	}
+}
+
+// BenchmarkSpanVsPerSlotSparseTrace shows the closed-form span expansion on
+// a sparse trace: per-slot stepping pays a map probe per slot while
+// AppendArrivals binary-searches once per span and walks only the occupied
+// slots.
+func BenchmarkSpanVsPerSlotSparseTrace(b *testing.B) {
+	const period = 64
+	mk := func(slots int) *Trace {
+		tr := NewTrace()
+		for t := 0; t < slots; t += period {
+			if err := tr.Add(cell.Time(t), cell.Port(t%4), cell.Port((t+1)%4)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return tr
+	}
+	b.Run("perslot", func(b *testing.B) {
+		tr := mk(b.N)
+		var buf []Arrival
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = tr.Arrivals(cell.Time(i), buf[:0])
+		}
+	})
+	b.Run("span256", func(b *testing.B) {
+		tr := mk(b.N)
+		var buf []Arrival
+		b.ResetTimer()
+		for from := cell.Time(0); from < cell.Time(b.N); from += 256 {
+			to := from + 256
+			if to > cell.Time(b.N) {
+				to = cell.Time(b.N)
+			}
+			buf = tr.AppendArrivals(buf[:0], from, to)
+		}
+	})
+}
+
+// itoa avoids importing strconv for two benchmark labels.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var d [8]byte
+	i := len(d)
+	for v > 0 {
+		i--
+		d[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(d[i:])
+}

@@ -101,6 +101,12 @@ func (b *BvN) generate(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (b *BvN) End() cell.Time { return b.until }
 
+// AppendArrivals implements BatchSource via the lookahead buffer's span
+// path; the scheduler advances exactly once per fresh slot, as stepped.
+func (b *BvN) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return b.la.appendSpan(from, to, dst, b.generate)
+}
+
 // NextArrival implements Lookahead. Thinning defers at most one slot of
 // credit per served permutation cell, so an active decomposition emits
 // within a bounded number of schedule rounds and the scan terminates even

@@ -20,7 +20,11 @@ func WithDeadline(src Source, rel cell.Time) Source {
 	}
 	d := deadlined{src: src, rel: rel}
 	if look, ok := src.(Lookahead); ok {
-		return &deadlinedLookahead{deadlined: d, look: look}
+		dl := deadlinedLookahead{deadlined: d, look: look}
+		if batch, ok := src.(BatchSource); ok {
+			return &deadlinedBatch{deadlinedLookahead: dl, batch: batch}
+		}
+		return &dl
 	}
 	return &d
 }
@@ -59,4 +63,25 @@ type deadlinedLookahead struct {
 // NextArrival implements Lookahead: deadlines do not move arrivals.
 func (d *deadlinedLookahead) NextArrival(after cell.Time) cell.Time {
 	return d.look.NextArrival(after)
+}
+
+// deadlinedBatch additionally forwards BatchSource when the inner source
+// supports span generation (all bundled batch sources also implement
+// Lookahead, so the wrapper only distinguishes this combination).
+type deadlinedBatch struct {
+	deadlinedLookahead
+	batch BatchSource
+}
+
+// AppendArrivals implements BatchSource: the inner slab with Deadline
+// stamped off each arrival's own slot, mirroring the per-slot wrapper.
+func (d *deadlinedBatch) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	start := len(dst)
+	dst = d.batch.AppendArrivals(dst, from, to)
+	for i := start; i < len(dst); i++ {
+		if dst[i].Deadline == 0 {
+			dst[i].Deadline = dst[i].T + d.rel
+		}
+	}
+	return dst
 }

@@ -37,6 +37,29 @@ func (c *CBR) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (c *CBR) End() cell.Time { return c.Until }
 
+// appendPerSlot expands a span for stateless closed-form sources: replay
+// Arrivals for each slot of [from, to) into dst and stamp each appended
+// entry's slot. One call's worth of loop overhead replaces to-from interface
+// crossings on the harness side.
+func appendPerSlot(src Source, dst []Arrival, from, to cell.Time) []Arrival {
+	if end := src.End(); end != cell.None && to > end {
+		to = end
+	}
+	for t := from; t < to; t++ {
+		start := len(dst)
+		dst = src.Arrivals(t, dst)
+		for i := start; i < len(dst); i++ {
+			dst[i].T = t
+		}
+	}
+	return dst
+}
+
+// AppendArrivals implements BatchSource.
+func (c *CBR) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return appendPerSlot(c, dst, from, to)
+}
+
 // NextArrival implements Lookahead in closed form: the earliest per-flow
 // emission slot strictly after `after`, minimized over flows.
 func (c *CBR) NextArrival(after cell.Time) cell.Time {
@@ -157,6 +180,12 @@ func (b *Bernoulli) generate(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (b *Bernoulli) End() cell.Time { return b.until }
 
+// AppendArrivals implements BatchSource via the lookahead buffer's span
+// path, so the RNG draw order matches a stepped replay bit for bit.
+func (b *Bernoulli) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return b.la.appendSpan(from, to, dst, b.generate)
+}
+
 // NextArrival implements Lookahead by scanning forward through generate, so
 // the RNG draws land in the same order as a stepped replay.
 func (b *Bernoulli) NextArrival(after cell.Time) cell.Time {
@@ -234,6 +263,11 @@ func (o *OnOff) generate(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (o *OnOff) End() cell.Time { return o.until }
 
+// AppendArrivals implements BatchSource (see Bernoulli.AppendArrivals).
+func (o *OnOff) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return o.la.appendSpan(from, to, dst, o.generate)
+}
+
 // NextArrival implements Lookahead. The scan terminates with probability one:
 // pOffToOn >= 1/meanOff > 0, so some input eventually turns on.
 func (o *OnOff) NextArrival(after cell.Time) cell.Time {
@@ -274,6 +308,11 @@ func (p *Permutation) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 
 // End implements Source.
 func (p *Permutation) End() cell.Time { return p.Until }
+
+// AppendArrivals implements BatchSource.
+func (p *Permutation) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return appendPerSlot(p, dst, from, to)
+}
 
 // NextArrival implements Lookahead: a non-empty permutation emits every slot.
 func (p *Permutation) NextArrival(after cell.Time) cell.Time {
@@ -327,6 +366,12 @@ func (h *Hotspot) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (h *Hotspot) End() cell.Time { return h.inner.End() }
 
+// AppendArrivals implements BatchSource by delegating to the weighted
+// Bernoulli.
+func (h *Hotspot) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return h.inner.AppendArrivals(dst, from, to)
+}
+
 // NextArrival implements Lookahead by delegating to the weighted Bernoulli.
 func (h *Hotspot) NextArrival(after cell.Time) cell.Time {
 	return h.inner.NextArrival(after)
@@ -354,6 +399,11 @@ func (f *Flood) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 
 // End implements Source.
 func (f *Flood) End() cell.Time { return f.Until }
+
+// AppendArrivals implements BatchSource.
+func (f *Flood) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return appendPerSlot(f, dst, from, to)
+}
 
 // NextArrival implements Lookahead: a flood with inputs emits every slot.
 func (f *Flood) NextArrival(after cell.Time) cell.Time {

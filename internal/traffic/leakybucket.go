@@ -252,6 +252,13 @@ func (r *Regulator) release(t cell.Time, dst []Arrival) []Arrival {
 	return dst
 }
 
+// AppendArrivals implements BatchSource via the lookahead buffer's span
+// path; token refills and demand pulls advance slot by slot inside release,
+// exactly as a stepped replay would.
+func (r *Regulator) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return r.la.appendSpan(from, to, dst, r.release)
+}
+
 // End implements Source. The regulator itself cannot know when its backlog
 // will drain, so it reports unbounded unless both the demand has ended and
 // the queues are empty.

@@ -1,0 +1,129 @@
+package traffic
+
+import "ppsim/internal/cell"
+
+// Span sizing for SpanFeed's slab refills. Spans start at one slot and adapt
+// toward targetSlabCells arrivals per slab: dense sources settle on short
+// spans (bounded slab memory), sparse sources stretch toward spanMax so long
+// silent stretches cost one batch call instead of thousands of per-slot
+// interface crossings. The doubling/halving thresholds leave a 2x hysteresis
+// band so the span does not oscillate at a stable arrival rate.
+const (
+	spanInit        = cell.Time(1)
+	spanMax         = cell.Time(4096)
+	targetSlabCells = 4096
+)
+
+// SpanFeed adapts a Source to the harness's arrival phase. When the source
+// implements BatchSource the feed pulls one slab of arrivals per span and
+// serves each slot as a subslice — O(1) per slot, no interface call, no
+// copy — and answers NextArrival from the slab cursor in O(1) while the
+// slab lasts. For any other source it degrades to a per-slot pass-through
+// that behaves exactly like calling the source directly.
+//
+// Slots must be consumed through SlotArrivals in strictly increasing order,
+// interleaved with monotone NextArrival queries — the same contract the
+// engines already obey for Lookahead sources.
+type SpanFeed struct {
+	src   Source
+	batch BatchSource // nil → pass-through mode
+	look  Lookahead   // nil when src lacks Lookahead
+
+	end  cell.Time // first slot the harness never consumes; cell.None = unbounded
+	span cell.Time // current span length (slots per slab)
+
+	slab     []Arrival
+	cur      int       // first unconsumed slab entry
+	from, to cell.Time // slab covers [from, to); meaningful when haveSlab
+	haveSlab bool
+
+	scratch []Arrival // pass-through per-slot buffer
+}
+
+// NewSpanFeed wraps src for consumption of slots in [0, end); end = cell.None
+// means unbounded (the feed then never clamps its spans).
+func NewSpanFeed(src Source, end cell.Time) *SpanFeed {
+	f := &SpanFeed{src: src, end: end, span: spanInit}
+	f.batch, _ = src.(BatchSource)
+	f.look, _ = src.(Lookahead)
+	return f
+}
+
+// Batched reports whether the feed runs in slab mode.
+func (f *SpanFeed) Batched() bool { return f.batch != nil }
+
+// Look returns the feed itself when the underlying source supports
+// Lookahead — engines must consult the feed, not the raw source, so slab
+// state and lookahead state stay interleaved correctly — and nil otherwise.
+func (f *SpanFeed) Look() Lookahead {
+	if f.look == nil {
+		return nil
+	}
+	return f
+}
+
+// SlotArrivals returns slot t's arrivals. The returned slice is only valid
+// until the next SlotArrivals call (it aliases either the slab or the
+// per-slot scratch buffer).
+func (f *SpanFeed) SlotArrivals(t cell.Time) []Arrival {
+	if f.batch == nil {
+		f.scratch = f.src.Arrivals(t, f.scratch[:0])
+		return f.scratch
+	}
+	if !f.haveSlab || t >= f.to {
+		f.refill(t)
+	}
+	start := f.cur
+	if start < len(f.slab) && f.slab[start].T < t {
+		panic("traffic: span feed consumed out of order")
+	}
+	i := start
+	for i < len(f.slab) && f.slab[i].T == t {
+		i++
+	}
+	f.cur = i
+	return f.slab[start:i]
+}
+
+// refill generates the next slab starting at slot t and adapts the span
+// length toward targetSlabCells arrivals per slab.
+func (f *SpanFeed) refill(t cell.Time) {
+	to := t + f.span
+	if f.end != cell.None && to > f.end {
+		to = f.end
+	}
+	if to <= t {
+		to = t + 1 // callers only consume slots < end; keep the slab well-formed regardless
+	}
+	f.slab = f.batch.AppendArrivals(f.slab[:0], t, to)
+	f.cur = 0
+	f.from, f.to = t, to
+	f.haveSlab = true
+	got := len(f.slab)
+	switch {
+	case got > 2*targetSlabCells && f.span > 1:
+		f.span /= 2
+	case 2*got < targetSlabCells && f.span < spanMax:
+		f.span *= 2
+	}
+}
+
+// NextArrival implements Lookahead. While the slab holds unconsumed
+// arrivals the answer is its front entry — O(1), no source call. An
+// exhausted slab still certifies silence through the rest of its span, so
+// the query delegates from the span's last slot onward.
+func (f *SpanFeed) NextArrival(after cell.Time) cell.Time {
+	if f.batch == nil || !f.haveSlab {
+		return f.look.NextArrival(after)
+	}
+	if f.cur < len(f.slab) {
+		if f.slab[f.cur].T <= after {
+			panic("traffic: span feed NextArrival would skip unconsumed arrivals")
+		}
+		return f.slab[f.cur].T
+	}
+	if last := f.to - 1; last > after {
+		after = last
+	}
+	return f.look.NextArrival(after)
+}

@@ -24,6 +24,11 @@ type Arrival struct {
 	In  cell.Port
 	Out cell.Port
 
+	// T is the arrival's slot, stamped by BatchSource.AppendArrivals so a
+	// multi-slot slab stays self-describing. Per-slot Arrivals leaves it
+	// zero — the slot is the call argument there.
+	T cell.Time
+
 	// Deadline is the absolute slot by which the cell must depart to count
 	// as on time under deadline-aware admission; 0 means no deadline. It is
 	// assigned by WithDeadline — plain sources leave it zero.
@@ -43,6 +48,25 @@ type Source interface {
 	// End returns the first slot at and after which the source is
 	// permanently silent, or cell.None when the source is unbounded.
 	End() cell.Time
+}
+
+// BatchSource is an optional Source capability: the harness's arrival phase
+// pulls one slab of arrivals per span instead of one interface call per slot.
+//
+// AppendArrivals appends every arrival of the half-open span [from, to) to
+// dst, in slot order (and per-slot in the same order Arrivals would emit),
+// with each appended Arrival's T field stamped with its slot. The result must
+// be exactly the concatenation a slot-by-slot Arrivals replay over the span
+// would produce — RNG-backed sources must advance their draw sequence
+// identically, which the lookaheadBuffer span path guarantees.
+//
+// Spans obey the same strictly-increasing contract as Lookahead-interleaved
+// Arrivals: each call's `from` must be past every slot already consumed, and
+// NextArrival interleaves as if the span's slots had been consumed one at a
+// time.
+type BatchSource interface {
+	Source
+	AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival
 }
 
 // Trace is a finite, explicit arrival schedule. It is the workhorse of the
@@ -102,25 +126,48 @@ func (tr *Trace) Arrivals(t cell.Time, dst []Arrival) []Arrival {
 // End implements Source.
 func (tr *Trace) End() cell.Time { return tr.end }
 
+// ensureKeys rebuilds the sorted non-empty slot index if Add invalidated it.
+func (tr *Trace) ensureKeys() {
+	if tr.keysOK {
+		return
+	}
+	tr.keys = tr.keys[:0]
+	for t, as := range tr.slots {
+		if len(as) > 0 {
+			tr.keys = append(tr.keys, t)
+		}
+	}
+	sort.Slice(tr.keys, func(i, j int) bool { return tr.keys[i] < tr.keys[j] })
+	tr.keysOK = true
+}
+
 // NextArrival implements Lookahead: binary search over the lazily built
 // sorted slot index. Unlike generator lookaheads, trace queries are free of
 // state, so non-monotone queries are fine.
 func (tr *Trace) NextArrival(after cell.Time) cell.Time {
-	if !tr.keysOK {
-		tr.keys = tr.keys[:0]
-		for t, as := range tr.slots {
-			if len(as) > 0 {
-				tr.keys = append(tr.keys, t)
-			}
-		}
-		sort.Slice(tr.keys, func(i, j int) bool { return tr.keys[i] < tr.keys[j] })
-		tr.keysOK = true
-	}
+	tr.ensureKeys()
 	i := sort.Search(len(tr.keys), func(i int) bool { return tr.keys[i] > after })
 	if i == len(tr.keys) {
 		return cell.None
 	}
 	return tr.keys[i]
+}
+
+// AppendArrivals implements BatchSource closed-form: a binary search finds
+// the first populated slot in the span and the walk visits only populated
+// slots, so silent stretches cost nothing regardless of span length.
+func (tr *Trace) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	tr.ensureKeys()
+	i := sort.Search(len(tr.keys), func(i int) bool { return tr.keys[i] >= from })
+	for ; i < len(tr.keys) && tr.keys[i] < to; i++ {
+		t := tr.keys[i]
+		start := len(dst)
+		dst = tr.Arrivals(t, dst)
+		for j := start; j < len(dst); j++ {
+			dst[j].T = t
+		}
+	}
+	return dst
 }
 
 // Count reports the total number of scheduled arrivals.
@@ -206,4 +253,9 @@ func (c *Concat) End() cell.Time { return c.trace.End() }
 // NextArrival implements Lookahead via the flattened trace.
 func (c *Concat) NextArrival(after cell.Time) cell.Time {
 	return c.trace.NextArrival(after)
+}
+
+// AppendArrivals implements BatchSource via the flattened trace.
+func (c *Concat) AppendArrivals(dst []Arrival, from, to cell.Time) []Arrival {
+	return c.trace.AppendArrivals(dst, from, to)
 }
